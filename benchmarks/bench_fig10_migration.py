@@ -1,0 +1,124 @@
+"""Fig. 10: application-triggered connection migration.
+
+60 MiB download; 30 Mbps paths; 40 ms RTT on IPv4, 80 ms on IPv6.  The
+application migrates the transfer v4 -> v6 and later back, each time
+through a coupled-streams window in which both paths carry records --
+the goodput *peaks* above a single path's rate during the windows and
+never collapses.
+"""
+
+from conftest import run_once
+
+from common import PSK, GoodputProbe, banner, fmt_series, scaled
+from repro.core import TcplsClient, TcplsServer
+from repro.net import Simulator, build_multipath
+from repro.net.address import Endpoint
+from repro.tcp import TcpStack
+
+SIZE = scaled(60 << 20)
+RATE = 30_000_000
+MIGRATION_WINDOW = 1.0
+
+
+def run_migration():
+    sim = Simulator(seed=10)
+    topo = build_multipath(sim, n_paths=2, rates=[RATE, RATE],
+                           delays=[0.020, 0.040])  # RTT 40 / 80 ms
+    cstack = TcpStack(sim, topo.client)
+    sstack = TcpStack(sim, topo.server)
+    server = TcplsServer(sim, sstack, 443, psk=PSK)
+    client = TcplsClient(sim, cstack, psk=PSK)
+    probe = GoodputProbe(sim)
+    sessions = []
+    done = []
+    migrations = []
+
+    def on_session(sess):
+        sessions.append(sess)
+
+        def on_stream_data(stream):
+            if stream.recv().startswith(b"GET"):
+                group = sess.create_coupled_group([sess.conns[0]])
+                sess.fig10_group = group
+                group.send(b"V" * SIZE)
+                group.close()
+        sess.on_stream_data = on_stream_data
+
+    server.on_session = on_session
+
+    def on_group_data(group):
+        probe.account(len(group.recv()))
+        if group.complete and not done:
+            done.append(sim.now)
+            probe.stop()
+
+    client.on_group_data = on_group_data
+
+    def on_ready(_s):
+        request = client.create_stream(client.conns[0])
+        request.send(b"GET /file")
+        client.join(topo.path(1).client_addr)
+
+    client.on_ready = on_ready
+
+    def migrate(to_index):
+        """Move the server's sending group to conns[to_index] through a
+        coupled window (paper: 'uses coupled streams to transition
+        smoothly')."""
+        if done:
+            return
+        sess = sessions[0]
+        group = sess.fig10_group
+        old_streams = list(group.streams)
+        sess.add_group_stream(group, sess.conns[to_index])
+        migrations.append(sim.now)
+
+        def finish_window():
+            for stream in old_streams:
+                sess.remove_group_stream(group, stream)
+
+        sim.schedule(MIGRATION_WINDOW, finish_window)
+
+    # Migrate to IPv6 a third of the way in, back to IPv4 at two thirds.
+    expected_duration = SIZE * 8 / RATE
+    sim.at(1.0 + expected_duration / 3, migrate, 1)
+    sim.at(1.0 + 2 * expected_duration / 3, migrate, 0)
+    p0 = topo.path(0)
+    client.connect(p0.client_addr, Endpoint(p0.server_addr, 443))
+    sim.run(until=240)
+    return probe.series(), done, migrations, topo
+
+
+def test_fig10_app_triggered_migration(benchmark):
+    series, done, migrations, topo = run_once(benchmark, run_migration)
+    print(banner("Fig. 10 -- app-triggered migration during a %d MiB "
+                 "download" % (SIZE >> 20)))
+    print("migration windows at: %s" %
+          ", ".join("%.1fs" % t for t in migrations))
+    print("   " + fmt_series(series, every=4))
+    assert done, "download did not finish"
+    assert len(migrations) == 2
+
+    single_path_mbps = RATE / 1e6
+
+    def window_peak(t0):
+        values = [v for t, v in series if t0 <= t <= t0 +
+                  MIGRATION_WINDOW + 0.5]
+        return max(values) if values else 0.0
+
+    def steady(t0, t1):
+        values = [v for t, v in series if t0 <= t < t1]
+        return sum(values) / len(values) if values else 0.0
+
+    # Paper: "peaks during the migration windows" -- both paths carry
+    # data, so goodput exceeds one path's capacity.
+    assert window_peak(migrations[0]) > single_path_mbps * 1.1
+    assert window_peak(migrations[1]) > single_path_mbps * 1.1
+    # Goodput is sustained between migrations (no collapse).
+    gap_start = migrations[0] + MIGRATION_WINDOW + 0.5
+    gap_end = migrations[1] - 0.25
+    if gap_end - gap_start >= 0.5:
+        assert steady(gap_start, gap_end) > single_path_mbps * 0.6
+    # Both paths really carried the object at some point.
+    assert topo.path(0).s2c.stats.tx_bytes > SIZE / 4
+    assert topo.path(1).s2c.stats.tx_bytes > SIZE / 8

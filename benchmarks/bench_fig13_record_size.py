@@ -1,0 +1,78 @@
+"""Fig. 13 (Appendix A): aggregation with 1,500-byte records.
+
+Same experiment as Fig. 11 but with small TCPLS records: the goodput
+irregularities shrink (the reordering chunk is ~10x smaller) at a
+higher CPU cost per byte, which the cost model quantifies.
+"""
+
+from conftest import run_once
+
+from common import banner, build_tcpls_group_upload, fmt_series, scaled
+from repro.net import Simulator, build_multipath
+from repro.perf import CpuProfile, TcplsModel, TcplsVariant
+
+SIZE = scaled(60 << 20)
+SECOND_PATH_AT = 5.0
+
+
+def run_tcpls(record_payload):
+    sim = Simulator(seed=13)
+    topo = build_multipath(sim, n_paths=2)
+    client, sessions, probe, done = build_tcpls_group_upload(
+        sim, topo, SIZE, record_payload=record_payload, n_paths=1)
+
+    def enable_second_path():
+        client.join(topo.path(1).client_addr)
+
+        def attach(conn):
+            group = list(client.groups.values())[0]
+            client.add_group_stream(group, conn)
+        client.on_join = attach
+
+    sim.at(SECOND_PATH_AT, enable_second_path)
+    sim.run(until=120)
+    return probe, done
+
+
+def run_both():
+    return {
+        16384: run_tcpls(16384),
+        1500: run_tcpls(1500),
+    }
+
+
+def test_fig13_small_records_smoother_goodput(benchmark):
+    results = run_once(benchmark, run_both)
+    print(banner("Fig. 13 -- aggregation goodput vs record size"))
+    stats = {}
+    for record_size, (probe, done) in results.items():
+        end = done[0] - 0.25 if done else SECOND_PATH_AT + 15.0
+        start = min(SECOND_PATH_AT + 3.0, end - 1.5)
+        mean = probe.mean_between(start, end)
+        std = probe.stddev_between(start, end)
+        stats[record_size] = (mean, std, done)
+        print("records=%5dB aggregated=%5.1f Mbps stddev=%4.2f "
+              "finished=%s" % (record_size, mean, std,
+                               "%.1fs" % done[0] if done else "DNF"))
+        print("   " + fmt_series(probe.series(), every=8))
+
+    mean_big, std_big, done_big = stats[16384]
+    mean_small, std_small, done_small = stats[1500]
+    assert done_big and done_small
+    # Both sizes aggregate the two paths.
+    assert mean_big > 40 and mean_small > 35
+    # Appendix A: smaller records -> steadier goodput.
+    assert std_small < std_big
+
+    # "...at a slightly higher CPU cost since encryption and decryption
+    # are performed more often" -- from the cost model.
+    cpu = CpuProfile()
+    cost_big = TcplsModel(cpu, record_size=16384,
+                          variant=TcplsVariant.MULTIPATH)
+    cost_small = TcplsModel(cpu, record_size=1500,
+                            variant=TcplsVariant.MULTIPATH)
+    per_byte_big = cost_big.sender_ns_per_byte()
+    per_byte_small = cost_small.sender_ns_per_byte()
+    print("modelled CPU cost: %.3f ns/B (16384) vs %.3f ns/B (1500)"
+          % (per_byte_big, per_byte_small))
+    assert per_byte_small > per_byte_big

@@ -1,0 +1,106 @@
+"""Fig. 7: raw throughput on the 40 Gbps testbed (cost model).
+
+Regenerates both panels (Gbps and packets per second) for every stack x
+MTU combination, and checks the paper's qualitative claims.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.baselines.quic.impls import IMPL_PROFILES
+from repro.perf import (
+    CpuProfile,
+    QuicSenderModel,
+    TcplsModel,
+    TcplsVariant,
+    TlsTcpModel,
+    solve_throughput_gbps,
+)
+
+PAPER_GBPS = {
+    ("tls-tcp", 1500): 10.3,
+    ("tls-tcp", 9000): 12.6,
+    ("tcpls", 1500): 10.8,
+    ("tcpls", 9000): 12.4,
+    ("tcpls-failover", 1500): 9.66,
+    ("tcpls-multipath", 1500): 8.8,
+    ("quicly", 1500): 4.4,
+    ("msquic", 1500): 1.96,
+}
+
+
+def build_rows():
+    cpu = CpuProfile()
+    rows = []
+    for mtu in (1500, 9000):
+        stacks = [
+            ("tls-tcp", TlsTcpModel(cpu, mtu=mtu), mtu - 40),
+            ("tcpls", TcplsModel(cpu, mtu=mtu), mtu - 40),
+            ("tcpls-failover",
+             TcplsModel(cpu, mtu=mtu, variant=TcplsVariant.FAILOVER),
+             mtu - 40),
+            ("tcpls-multipath",
+             TcplsModel(cpu, mtu=mtu, variant=TcplsVariant.MULTIPATH),
+             mtu - 40),
+        ]
+        for name in ("quicly", "quicly-nogso", "msquic", "mvfst"):
+            model = QuicSenderModel(cpu, IMPL_PROFILES[name], mtu=mtu)
+            stacks.append((name, model, model.packet_payload))
+        for name, model, unit in stacks:
+            gbps = solve_throughput_gbps(model)
+            kpps = gbps / 8 * 1e9 / unit / 1e3
+            rows.append((name, mtu, gbps, kpps))
+    return rows
+
+
+def test_fig7_throughput_table(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print("\nFig. 7 -- raw throughput (modelled testbed)")
+    print("%-17s %6s %10s %10s %10s" % ("stack", "MTU", "Gbps", "kpps",
+                                        "paper"))
+    values = {}
+    for name, mtu, gbps, kpps in rows:
+        values[(name, mtu)] = gbps
+        paper = PAPER_GBPS.get((name, mtu))
+        print("%-17s %6d %10.2f %10.0f %10s" % (
+            name, mtu, gbps, kpps,
+            ("%.2f" % paper) if paper else "-"))
+
+    # -- the paper's claims, as assertions -------------------------------
+    # Calibrated points land within 15%.
+    for key, expected in PAPER_GBPS.items():
+        assert values[key] == pytest.approx(expected, rel=0.15), key
+    # "TCPLS has similar throughput than TCP/TLS" / small 1500 advantage.
+    assert values[("tcpls", 1500)] >= values[("tls-tcp", 1500)]
+    # "Failover has a small impact on raw throughput."
+    assert values[("tcpls-failover", 1500)] > 0.85 * values[("tcpls", 1500)]
+    # "Coupling ... less than 10% below Failover."
+    assert values[("tcpls-multipath", 1500)] > \
+        0.9 * values[("tcpls-failover", 1500)]
+    # "TCPLS with TSO is twice faster" than the fastest QUIC.
+    fastest_quic = max(values[(n, 1500)]
+                       for n in ("quicly", "msquic", "mvfst"))
+    assert values[("tcpls", 1500)] >= 2 * fastest_quic
+    # "quicly's performance decreases with jumbo frames but is still
+    # faster than without GSO."
+    assert values[("quicly", 9000)] < values[("quicly", 1500)]
+    assert values[("quicly", 9000)] > values[("quicly-nogso", 9000)]
+    # "mvfst was slower [than msquic] despite GSO."
+    assert values[("mvfst", 1500)] < values[("msquic", 1500)]
+
+
+def test_fig7_sensitivity_to_link(benchmark):
+    """On a slower NIC the stacks converge to the link rate: the CPU
+    differences only matter when the wire is fast enough."""
+
+    def run():
+        cpu = CpuProfile()
+        tcpls = TcplsModel(cpu, mtu=1500)
+        quicly = QuicSenderModel(cpu, IMPL_PROFILES["quicly"], mtu=1500)
+        return (solve_throughput_gbps(tcpls, link_gbps=1.0),
+                solve_throughput_gbps(quicly, link_gbps=1.0))
+
+    tcpls_1g, quicly_1g = run_once(benchmark, run)
+    print("\n1 Gbps link: tcpls=%.2f quicly=%.2f" % (tcpls_1g, quicly_1g))
+    assert tcpls_1g == quicly_1g == 1.0

@@ -1,0 +1,81 @@
+"""Sec. 4.5: session establishment latency.
+
+The paper combines TLS 1.3 0-RTT with TCP Fast Open so "the TCPLS
+handshake can be sent together with the TCP SYN".  Measure the time
+from connect() to (a) session ready and (b) first request byte at the
+server, for a cold handshake vs a TFO+0-RTT resumption, on a 10 ms
+one-way path.
+"""
+
+from conftest import run_once
+
+from common import PSK, banner
+from repro.core import TcplsClient, TcplsServer
+from repro.net import Simulator, build_multipath
+from repro.net.address import Endpoint
+from repro.tcp import TcpStack
+
+RTT = 0.020
+
+
+def run_establishment():
+    sim = Simulator(seed=45)
+    topo = build_multipath(sim, n_paths=1, families=[4])
+    cstack, sstack = TcpStack(sim, topo.client), TcpStack(sim, topo.server)
+    cstack.tfo_enabled = True
+    sstack.tfo_enabled = True
+    server = TcplsServer(sim, sstack, 443, psk=PSK)
+    request_at = []
+    server.on_session = lambda sess: setattr(
+        sess, "on_stream_data",
+        lambda stream: request_at.append(sim.now) if stream.recv()
+        else None,
+    )
+    p = topo.path(0)
+
+    results = {}
+
+    def one(label, tfo, early_data):
+        start = sim.now
+        client = TcplsClient(sim, cstack, psk=PSK)
+        ready = []
+        client.on_ready = lambda s: ready.append(sim.now - start)
+        before = len(request_at)
+        client.connect(p.client_addr, Endpoint(p.server_addr, 443),
+                       tfo=tfo, early_data=early_data)
+        if not early_data:
+            client.on_ready = lambda s: (
+                ready.append(sim.now - start) if not ready else None,
+                client.create_stream(client.conns[0]).send(b"GET /"),
+            )
+        sim.run(until=start + 2.0)
+        first_request = (request_at[before] - start
+                         if len(request_at) > before else None)
+        results[label] = (ready[0] if ready else None, first_request)
+        client.conns[0].tcp.close()
+        sim.run(until=sim.now + 1.0)
+
+    one("cold handshake", tfo=False, early_data=b"")
+    one("tfo + 0-rtt", tfo=True, early_data=b"GET /")
+    return results
+
+
+def test_sec45_establishment_latency(benchmark):
+    results = run_once(benchmark, run_establishment)
+    print(banner("Sec. 4.5 -- establishment latency (RTT %.0f ms)"
+                 % (RTT * 1000)))
+    for label, (ready, first_request) in results.items():
+        print("%-15s ready=%s first-request-at-server=%s" % (
+            label,
+            "%.0f ms" % (ready * 1000) if ready else "-",
+            "%.0f ms" % (first_request * 1000) if first_request else "-",
+        ))
+    cold_ready, cold_request = results["cold handshake"]
+    fast_ready, fast_request = results["tfo + 0-rtt"]
+    # Cold: TCP (1 RTT) + TLS (1 RTT) = 2 RTT to ready, request at 2.5.
+    assert abs(cold_ready - 2 * RTT) < 0.01
+    # TFO+0-RTT: ClientHello and request ride the SYN.
+    assert fast_ready < cold_ready - 0.015
+    assert fast_request < cold_request - 0.015
+    # The request reaches the server within about one RTT of connect().
+    assert fast_request < 2 * RTT

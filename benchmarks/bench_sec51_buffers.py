@@ -1,0 +1,86 @@
+"""Sec. 5.1 side results: buffer tuning and in-memory AEAD rates.
+
+Two textual results accompany Fig. 7:
+- tuning picotls's receive buffers (avoiding record fragmentation and
+  re-copies) improved client throughput by ~40%;
+- the in-memory AES-128-GCM baseline runs at 24.59 Gbps opening /
+  13.62 Gbps sealing on 16,384-byte records.
+
+The first is reproduced with the cost model's extra-copy knob plus a
+live record-reassembly measurement; the second is the model's anchor
+(asserted as the crypto ceiling).
+"""
+
+from conftest import run_once
+
+from repro.crypto.aead import NullTagCipher
+from repro.perf import CpuProfile, TlsTcpModel
+from repro.tls.record import (
+    CONTENT_APPLICATION_DATA,
+    RecordEncryptor,
+    RecordReassembler,
+)
+
+
+def test_sec51_receive_buffer_tuning(benchmark):
+    """The untuned receive path (fragmented reads forcing re-copies)
+    costs throughput; the tuned one recovers ~40%."""
+
+    def model():
+        cpu = CpuProfile()
+        tuned = TlsTcpModel(cpu, mtu=1500, extra_copies=0)
+        # An untuned picotls client re-staged fragmented records through
+        # intermediate buffers; ~17 extra byte-copies' worth of work
+        # reproduces the measured gap.
+        untuned = TlsTcpModel(cpu, mtu=1500, extra_copies=17)
+        tuned_gbps = 8.0 / tuned.receiver_ns_per_byte()
+        untuned_gbps = 8.0 / untuned.receiver_ns_per_byte()
+        return tuned_gbps, untuned_gbps
+
+    tuned_gbps, untuned_gbps = run_once(benchmark, model)
+    gain = (tuned_gbps - untuned_gbps) / untuned_gbps
+    print("\nSec. 5.1 -- receive path: untuned %.1f Gbps, tuned %.1f Gbps "
+          "(+%.0f%%)" % (untuned_gbps, tuned_gbps, gain * 100))
+    assert 0.25 < gain < 0.60  # paper: ~40%
+
+
+def test_sec51_reassembler_handles_fragmentation(benchmark):
+    """Live check: however TCP fragments records, the reassembler emits
+    each exactly once with a single buffered copy."""
+    encryptor = RecordEncryptor(NullTagCipher(b"k" * 32), bytes(12))
+    records = [
+        encryptor.protect(CONTENT_APPLICATION_DATA, b"x" * 16384)
+        for _ in range(64)
+    ]
+    stream = b"".join(records)
+
+    def reassemble():
+        buf = RecordReassembler()
+        out = []
+        for offset in range(0, len(stream), 1460):  # MSS-sized reads
+            out.extend(buf.feed(stream[offset:offset + 1460]))
+        return out
+
+    out = run_once(benchmark, reassemble)
+    assert out == records
+
+
+def test_sec51_crypto_ceiling(benchmark):
+    """The model's AEAD anchors equal the paper's measured in-memory
+    rates, and no modelled stack exceeds its crypto ceiling."""
+
+    def check():
+        cpu = CpuProfile()
+        seal_gbps = 8.0 / cpu.aead_seal_ns_per_byte
+        open_gbps = 8.0 / cpu.aead_open_ns_per_byte
+        return seal_gbps, open_gbps
+
+    seal_gbps, open_gbps = run_once(benchmark, check)
+    print("\nSec. 5.1 -- AEAD in-memory: seal %.2f Gbps, open %.2f Gbps"
+          % (seal_gbps, open_gbps))
+    assert abs(seal_gbps - 13.62) < 0.01
+    assert abs(open_gbps - 24.59) < 0.01
+    cpu = CpuProfile()
+    from repro.perf import solve_throughput_gbps
+
+    assert solve_throughput_gbps(TlsTcpModel(cpu, mtu=9000)) < seal_gbps

@@ -1,0 +1,162 @@
+"""Sec. 5.2: middlebox interference matrix.
+
+The paper tested TCPLS against stateful firewalls, packet inspection,
+and a transparent TLS proxy: the handshake traversed the filters
+unharmed, and TLS-terminating equipment triggered a clean fallback to
+TLS/TCP.  Legacy servers that abort on unknown extensions trigger the
+explicit fallback.  This bench runs the TCPLS handshake through each
+modelled device class and prints the behaviour matrix.
+"""
+
+from conftest import run_once
+
+from repro.core import TcplsClient, TcplsServer
+from repro.net import Simulator, build_multipath
+from repro.net.address import Endpoint, IPAddress
+from repro.net.middlebox import (
+    NAT,
+    OptionStrippingFirewall,
+    Resegmenter,
+    StatefulFirewall,
+)
+from repro.tcp import TcpStack
+
+PSK = b"mbx-psk"
+
+
+def run_proxy_scenario():
+    """The real TLS-terminating relay: terminates TCP and TLS on both
+    sides, answers the ClientHello itself (no TCPLS), re-encrypts."""
+    from repro.net.host import Host
+    from repro.net.link import duplex_link
+    from repro.net.proxy import TlsTerminatingProxy
+
+    sim = Simulator(seed=52)
+    client_host = Host(sim, "client")
+    proxy_host = Host(sim, "proxy")
+    origin_host = Host(sim, "origin")
+    c_addr = IPAddress("10.0.0.1")
+    fake_server = IPAddress("10.0.0.2")
+    p_up, o_addr = IPAddress("10.1.0.1"), IPAddress("10.1.0.2")
+    c2p, p2c = duplex_link(sim, client_host, proxy_host,
+                           rate_bps=25_000_000, delay=0.005)
+    p2o, o2p = duplex_link(sim, proxy_host, origin_host,
+                           rate_bps=25_000_000, delay=0.005)
+    client_host.add_route(fake_server, client_host.add_interface(
+        "c0", c_addr, tx_link=c2p))
+    down = proxy_host.add_interface("p0", fake_server, tx_link=p2c)
+    up = proxy_host.add_interface("p1", p_up, tx_link=p2o)
+    proxy_host.add_route(c_addr, down)
+    proxy_host.add_route(o_addr, up)
+    origin_host.add_route(p_up, origin_host.add_interface(
+        "o0", o_addr, tx_link=o2p))
+    cstack = TcpStack(sim, client_host)
+    pstack = TcpStack(sim, proxy_host)
+    ostack = TcpStack(sim, origin_host)
+    TcplsServer(sim, ostack, 443, psk=PSK)
+    TlsTerminatingProxy(sim, pstack, 443, Endpoint(o_addr, 443), psk=PSK)
+    client = TcplsClient(sim, cstack, psk=PSK)
+    client.connect(c_addr, Endpoint(fake_server, 443))
+    sim.run(until=5)
+    return {
+        "connected": client.ready,
+        "tcpls": client.tcpls_enabled,
+        "fell_back": client.fell_back,
+        "data_ok": False,   # plain TLS relay; TCPLS streams unavailable
+    }
+
+
+def run_scenario(name):
+    if name == "tls-terminating-proxy":
+        return run_proxy_scenario()
+    sim = Simulator(seed=52)
+    topo = build_multipath(sim, n_paths=2)
+    cstack = TcpStack(sim, topo.client)
+    sstack = TcpStack(sim, topo.server)
+    path = topo.path(0)
+    server_kwargs = {}
+
+    if name == "stateful-firewall":
+        path.c2s.add_middlebox(StatefulFirewall(sim=sim))
+        path.s2c.add_middlebox(StatefulFirewall(sim=sim))
+    elif name == "option-stripper":
+        path.c2s.add_middlebox(OptionStrippingFirewall())
+        path.s2c.add_middlebox(OptionStrippingFirewall())
+    elif name == "nat":
+        nat = NAT(IPAddress("198.51.100.1"))
+        path.c2s.add_middlebox(nat.outbound)
+        path.s2c.add_middlebox(nat.inbound)
+        topo.server.add_route(IPAddress("198.51.100.1"),
+                              topo.server.interfaces[0])
+    elif name == "resegmenter":
+        path.c2s.add_middlebox(Resegmenter(chunk=536))
+    elif name == "legacy-strict-server":
+        server_kwargs["enable_tcpls"] = False
+        server_kwargs["strict_extensions"] = True
+    elif name != "clean-path":
+        raise ValueError(name)
+
+    server = TcplsServer(sim, sstack, 443, psk=PSK, **server_kwargs)
+    sessions = []
+    received = bytearray()
+
+    def on_session(sess):
+        sessions.append(sess)
+        sess.on_stream_data = lambda st: received.extend(st.recv())
+
+    server.on_session = on_session
+    client = TcplsClient(sim, cstack, psk=PSK)
+    client.connect(path.client_addr, Endpoint(path.server_addr, 443))
+    sim.run(until=5)
+    data_ok = False
+    if client.ready and client.tcpls_enabled:
+        stream = client.create_stream(client.conns[0])
+        stream.send(b"probe" * 200)
+        sim.run(until=sim.now + 2)
+        data_ok = bytes(received).endswith(b"probe" * 200)
+    return {
+        "connected": client.ready,
+        "tcpls": client.tcpls_enabled,
+        "fell_back": client.fell_back,
+        "data_ok": data_ok,
+    }
+
+
+SCENARIOS = [
+    "clean-path",
+    "stateful-firewall",
+    "option-stripper",
+    "nat",
+    "resegmenter",
+    "tls-terminating-proxy",
+    "legacy-strict-server",
+]
+
+
+def test_sec52_middlebox_matrix(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {name: run_scenario(name) for name in SCENARIOS},
+    )
+    print("\nSec. 5.2 -- middlebox interference matrix")
+    print("%-24s %-10s %-7s %-10s %-8s" % (
+        "device", "connected", "tcpls", "fallback", "data"))
+    for name, r in results.items():
+        print("%-24s %-10s %-7s %-10s %-8s" % (
+            name, r["connected"], r["tcpls"], r["fell_back"],
+            r["data_ok"]))
+
+    # Paper: "no unexpected interference" through stateful filtering,
+    # option manipulation, NAT, resegmentation.
+    for name in ("clean-path", "stateful-firewall", "option-stripper",
+                 "nat", "resegmenter"):
+        assert results[name]["connected"], name
+        assert results[name]["tcpls"], name
+        assert results[name]["data_ok"], name
+    # "transparent TLS proxy successfully triggered TCPLS fallback"
+    proxy = results["tls-terminating-proxy"]
+    assert proxy["connected"] and not proxy["tcpls"]
+    # Legacy servers: explicit fallback (retry without the extension).
+    legacy = results["legacy-strict-server"]
+    assert legacy["connected"] and not legacy["tcpls"]
+    assert legacy["fell_back"]

@@ -1,0 +1,18 @@
+"""Benchmark harness plumbing.
+
+Every bench in this directory regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index).  Each test wraps its
+experiment in the pytest-benchmark fixture (rounds=1 -- the experiments
+are deterministic discrete-event runs, not micro timings) so
+``pytest benchmarks/ --benchmark-only`` executes the whole evaluation.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

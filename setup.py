@@ -1,0 +1,5 @@
+"""Legacy-setuptools shim; configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

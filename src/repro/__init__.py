@@ -1,0 +1,26 @@
+"""TCPLS: Modern Transport Services with TCP and TLS -- reproduction.
+
+A from-scratch Python implementation of the CoNEXT 2021 paper by
+Rochet, Assogba, Piraux, Edeline, Donnet and Bonaventure, together with
+every substrate its evaluation depends on:
+
+- :mod:`repro.net` -- deterministic discrete-event network simulator
+  (links, multihomed hosts, middleboxes);
+- :mod:`repro.tcp` -- user-space TCP with SACK loss recovery and
+  pluggable congestion control (Reno / CUBIC / Vegas / eBPF);
+- :mod:`repro.crypto` -- HKDF, ChaCha20-Poly1305, AES-128-GCM, FFDHE;
+- :mod:`repro.tls` -- TLS 1.3 handshake + record layer;
+- :mod:`repro.core` -- **TCPLS itself**: encrypted record types, stream
+  multiplexing with per-stream crypto contexts, SESSID/cookie joins,
+  failover, app-triggered migration, coupled streams, eBPF transfer;
+- :mod:`repro.ebpf` -- eBPF-subset VM, assembler, verifier, congestion
+  controllers as bytecode;
+- :mod:`repro.baselines` -- MPTCP and QUIC comparison points;
+- :mod:`repro.perf` -- CPU cost model for the raw-throughput figures;
+- :mod:`repro.qlog` -- qlog-style tracing.
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Baseline transports the paper evaluates TCPLS against.
+
+- :mod:`repro.baselines.mptcp` -- a Multipath TCP model (subflows, DSS
+  reassembly, data-level ACKs and reinjection, fullmesh/backup path
+  managers) used by the Fig. 8/9/11 comparisons.
+- :mod:`repro.baselines.quic` -- a QUIC model (UDP datagrams,
+  per-packet AEAD, user-space ACK machinery, GSO batching) plus the
+  implementation cost profiles (quicly / msquic / mvfst) used by the
+  Fig. 7 throughput comparison.
+"""

@@ -1,0 +1,36 @@
+"""QUIC baseline (RFC 9000 model) over UDP.
+
+The paper compares TCPLS against three production QUIC implementations
+(quicly, msquic, mvfst).  This package provides:
+
+- :mod:`repro.baselines.quic.udp` -- a minimal UDP stack over
+  :mod:`repro.net`;
+- :mod:`repro.baselines.quic.packet` -- packet and frame codecs
+  (STREAM / ACK / CRYPTO / HANDSHAKE_DONE / PING / CONNECTION_CLOSE);
+- :mod:`repro.baselines.quic.connection` -- a functional QUIC endpoint:
+  per-packet AEAD, user-space acknowledgment and loss recovery (packet
+  thresholds + PTO), pluggable congestion control shared with the TCP
+  stack, stream multiplexing, and optional GSO-style datagram batching;
+- :mod:`repro.baselines.quic.impls` -- per-implementation cost profiles
+  used by the Fig. 7 CPU model (syscall batching, GSO support, record
+  sizes).
+
+The architectural differences the paper attributes QUIC's lower bulk
+throughput to are all present: encryption units are packet-sized
+(~1.2 KiB vs 16 KiB TLS records), ACKs are generated and processed in
+user space, and segmentation offload is GSO batching rather than TSO.
+"""
+
+from repro.baselines.quic.udp import UdpStack, Datagram
+from repro.baselines.quic.connection import QuicClient, QuicConnection, QuicServer
+from repro.baselines.quic.impls import IMPL_PROFILES, QuicImplProfile
+
+__all__ = [
+    "Datagram",
+    "IMPL_PROFILES",
+    "QuicClient",
+    "QuicConnection",
+    "QuicImplProfile",
+    "QuicServer",
+    "UdpStack",
+]

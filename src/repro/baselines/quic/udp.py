@@ -1,0 +1,74 @@
+"""Minimal UDP over :mod:`repro.net`."""
+
+from repro.net.address import Endpoint
+from repro.net.packet import Packet
+
+UDP_HEADER_BYTES = 8
+
+
+class Datagram:
+    """One UDP datagram (ports + opaque payload bytes)."""
+
+    __slots__ = ("src_port", "dst_port", "payload")
+
+    def __init__(self, src_port, dst_port, payload):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = bytes(payload)
+
+    def wire_size(self):
+        return UDP_HEADER_BYTES + len(self.payload)
+
+    def __repr__(self):
+        return "Datagram(%d->%d, %d B)" % (
+            self.src_port, self.dst_port, len(self.payload)
+        )
+
+
+class UdpSocket:
+    """A bound UDP port."""
+
+    def __init__(self, stack, local):
+        self.stack = stack
+        self.local = local
+        self.on_datagram = None   # (payload, src Endpoint)
+
+    def sendto(self, payload, remote):
+        datagram = Datagram(self.local.port, remote.port, payload)
+        packet = Packet(self.local.addr, remote.addr, "udp", datagram)
+        return self.stack.host.send(packet)
+
+    def close(self):
+        self.stack._sockets.pop((str(self.local.addr), self.local.port),
+                                None)
+
+
+class UdpStack:
+    """Per-host UDP demultiplexer."""
+
+    def __init__(self, sim, host):
+        self.sim = sim
+        self.host = host
+        self._sockets = {}
+        self._next_port = 50000
+        host.register_stack("udp", self)
+
+    def bind(self, local_addr, port=None):
+        if port is None:
+            port = self._next_port
+            self._next_port += 1
+        local = Endpoint(local_addr, port)
+        key = (str(local.addr), port)
+        if key in self._sockets:
+            raise ValueError("port %d already bound on %s" % (port,
+                                                              local.addr))
+        socket = UdpSocket(self, local)
+        self._sockets[key] = socket
+        return socket
+
+    def receive(self, packet):
+        datagram = packet.payload
+        socket = self._sockets.get((str(packet.dst), datagram.dst_port))
+        if socket is not None and socket.on_datagram is not None:
+            socket.on_datagram(datagram.payload,
+                               Endpoint(packet.src, datagram.src_port))

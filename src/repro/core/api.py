@@ -1,0 +1,187 @@
+"""Application-facing TCPLS API (the Fig. 5 workflow).
+
+The paper's API is session-level and event-driven: the application
+configures a context, registers callbacks, explicitly opens TCP
+connections between chosen address pairs (optionally racing them,
+Happy-Eyeballs style), and then drives streams.
+:class:`TcplsConnection` is that facade over
+:class:`~repro.core.client.TcplsClient`.
+"""
+
+from repro.core.client import TcplsClient
+from repro.net.address import Endpoint
+
+
+class TcplsConnection:
+    """High-level client handle.
+
+    Typical use (mirroring the paper's workflow)::
+
+        api = TcplsConnection(sim, stack, psk=b"secret")
+        api.add_address(client_v4); api.add_address(client_v6)
+        api.add_peer_address(server_v4, 443); api.add_peer_address(server_v6, 443)
+        api.on("ready", lambda s: ...)
+        api.connect(src=client_v4, dst=server_v4)    # primary + handshake
+        ...
+        api.join(src=client_v6)                      # second path
+        group = api.aggregate()                       # couple all paths
+        group.send(data)
+    """
+
+    EVENTS = frozenset({
+        "ready", "stream_data", "group_data", "conn_established",
+        "conn_failed", "failover", "join", "pong", "ebpf_attached",
+        "writable", "stream_open", "tcp_option",
+    })
+
+    def __init__(self, sim, stack, psk, cipher_names=("null-tag",),
+                 enable_tcpls=True, **session_kwargs):
+        self.sim = sim
+        self.stack = stack
+        self.session = TcplsClient(sim, stack, psk,
+                                   cipher_names=cipher_names,
+                                   enable_tcpls=enable_tcpls,
+                                   **session_kwargs)
+        self.local_addresses = []
+        self.peer_endpoints = []
+        self._handlers = {}
+        self._wire()
+
+    def _wire(self):
+        session = self.session
+        session.on_ready = lambda s: self._emit("ready", s)
+        session.on_stream_data = lambda st: self._emit("stream_data", st)
+        session.on_group_data = lambda g: self._emit("group_data", g)
+        session.on_stream_open = lambda st: self._emit("stream_open", st)
+        session.on_conn_established = (
+            lambda c: self._emit("conn_established", c))
+        session.on_conn_failed = (
+            lambda c, r: self._emit("conn_failed", c, r))
+        session.on_failover = lambda o, n: self._emit("failover", o, n)
+        session.on_join = lambda c: self._emit("join", c)
+        session.on_pong = lambda c, p: self._emit("pong", c, p)
+        session.on_ebpf_attached = (
+            lambda c, p: self._emit("ebpf_attached", c, p))
+        session.on_writable = lambda s: self._emit("writable", s)
+        session.on_tcp_option = (
+            lambda c, k, d: self._emit("tcp_option", c, k, d))
+
+    def on(self, event, handler):
+        """Register a callback; events mirror the paper's connection
+        events (establishment, stream attachment, joins, options...)."""
+        if event not in self.EVENTS:
+            raise ValueError("unknown event %r (have: %s)"
+                             % (event, ", ".join(sorted(self.EVENTS))))
+        self._handlers.setdefault(event, []).append(handler)
+        return self
+
+    def _emit(self, event, *args):
+        for handler in self._handlers.get(event, ()):
+            handler(*args)
+
+    # -- address bookkeeping ------------------------------------------------
+
+    def add_address(self, address):
+        """Declare a local address usable for connections (v4 or v6)."""
+        self.local_addresses.append(address)
+        return self
+
+    def add_peer_address(self, address, port):
+        self.peer_endpoints.append(Endpoint(address, port))
+        return self
+
+    # -- connection management ---------------------------------------------
+
+    def connect(self, src=None, dst=None, timeout=None):
+        """Open the primary connection.
+
+        With ``src``/``dst`` omitted, races the first two configured
+        address pairs Happy-Eyeballs style: both TCP connections start
+        and the first to complete its handshake wins; the loser is
+        aborted (``timeout`` bounds the race, default 50 ms as in the
+        paper's example).
+        """
+        if src is not None or dst is not None:
+            src = src if src is not None else self.local_addresses[0]
+            dst = dst if dst is not None else self.peer_endpoints[0]
+            return self.session.connect(src, dst)
+        return self._happy_eyeballs(timeout if timeout is not None else 0.05)
+
+    def _happy_eyeballs(self, timeout):
+        pairs = list(zip(self.local_addresses, self.peer_endpoints))
+        if not pairs:
+            raise RuntimeError("no address pairs configured")
+        if len(pairs) == 1:
+            return self.session.connect(*pairs[0])
+        # Race at the TCP level, then run TCPLS on the winner.
+        winners = []
+        probes = []
+        for src, dst in pairs[:2]:
+            probe = self.stack.connect(src, dst)
+            probes.append((probe, src, dst))
+            probe.on_established = (
+                lambda c, s=src, d=dst: winners.append((c, s, d))
+            )
+
+        def decide():
+            if not winners:
+                # Nothing established inside the timeout; keep waiting on
+                # whichever probe succeeds first.
+                for probe, src, dst in probes:
+                    probe.on_established = (
+                        lambda c, s=src, d=dst: self._finish_race(
+                            probes, c, s, d)
+                    )
+                return
+            conn, src, dst = winners[0]
+            self._finish_race(probes, conn, src, dst)
+
+        self.sim.schedule(timeout, decide)
+        return None
+
+    def _finish_race(self, probes, winner, src, dst):
+        for probe, _s, _d in probes:
+            if probe is not winner:
+                probe.abort()
+        winner.abort()  # release the probe; TCPLS opens its own connection
+        self.session.connect(src, dst)
+
+    def join(self, src, dst=None):
+        """Join one more path using a stored cookie."""
+        return self.session.join(src, remote=dst)
+
+    # -- transport services ---------------------------------------------------
+
+    def new_stream(self, conn=None):
+        conn = conn or self.session._first_writable()
+        return self.session.create_stream(conn)
+
+    def aggregate(self, conns=None, scheduler=None):
+        """Couple streams over the given (default: all) connections for
+        bandwidth aggregation."""
+        conns = conns or self.session.alive_connections()
+        return self.session.create_coupled_group(conns, scheduler=scheduler)
+
+    def enable_failover(self):
+        self.session.enable_failover()
+        return self
+
+    def set_user_timeout(self, seconds, conn=None):
+        conn = conn or self.session._first_writable()
+        self.session.set_user_timeout(conn, seconds)
+        return self
+
+    def tcp_info(self, conn=None):
+        conn = conn or self.session._first_writable()
+        return conn.tcp_info()
+
+    def connections(self):
+        return self.session.connections()
+
+
+def tcpls_connect(sim, stack, local_addr, remote, psk, **kwargs):
+    """One-call helper: build a client session and open the primary
+    connection.  Returns the :class:`~repro.core.client.TcplsClient`."""
+    client = TcplsClient(sim, stack, psk, **kwargs)
+    client.connect(local_addr, remote)
+    return client

@@ -1,0 +1,231 @@
+"""TCPLS record framing.
+
+On the wire a TCPLS record is a TLS 1.3 encrypted record (outer type
+``application_data``), indistinguishable from TLS traffic (Fig. 1 of
+the paper).  Inside the AEAD plaintext, TCPLS frames its content as::
+
+    payload bytes ... || control fields ... || control_len(u8) || type(u8)
+
+with the type byte *last* -- extending TLS's inner-content-type trick.
+Putting control data at the end is the design decision of Sec. 3.1:
+after decrypting into a contiguous per-stream buffer, the receiver
+simply truncates the control tail, so application payload never moves.
+
+Record types (all hidden from the network by encryption):
+
+=================  ======================================================
+STREAM_DATA        application bytes; optional coupled-sequence control
+ACK                per-stream cumulative record acknowledgment (failover)
+SYNC               failover resynchronisation point (Fig. 4)
+TCP_OPTION         a TCP option conveyed securely (e.g. User Timeout)
+EBPF               a chunk of congestion-controller bytecode (Sec. 4.4)
+CONTROL            session control (cookies, addresses, stream attach...)
+PING / PONG        application path probing (Sec. 3.3.3)
+=================  ======================================================
+"""
+
+import struct
+
+RECORD_TYPE_APPDATA = 0x17        # plain TLS application data (stream 0)
+RECORD_TYPE_STREAM_DATA = 0x30
+RECORD_TYPE_ACK = 0x31
+RECORD_TYPE_SYNC = 0x32
+RECORD_TYPE_TCP_OPTION = 0x33
+RECORD_TYPE_EBPF = 0x34
+RECORD_TYPE_CONTROL = 0x35
+RECORD_TYPE_PING = 0x36
+RECORD_TYPE_PONG = 0x37
+
+#: STREAM_DATA control flags
+FLAG_COUPLED = 0x01   #: control carries a coupled-stream sequence number
+FLAG_FIN = 0x02       #: sender finished this stream
+
+# Control record opcodes (first byte of a CONTROL payload).
+CTRL_NEW_COOKIES = 0x01
+CTRL_ADD_ADDRESS = 0x02
+CTRL_REMOVE_ADDRESS = 0x03
+CTRL_STREAM_ATTACH = 0x04
+CTRL_STREAM_DETACH = 0x05
+CTRL_STREAM_CLOSE = 0x06
+CTRL_ENABLE_FAILOVER = 0x07
+CTRL_CONN_CLOSE = 0x08
+CTRL_ENABLE_TCPLS = 0x09
+CTRL_TCPINFO_REQUEST = 0x0A
+CTRL_TCPINFO_RESPONSE = 0x0B
+CTRL_NEW_TOKENS = 0x0C
+
+
+class TcplsRecord:
+    """One decoded TCPLS inner record: (type, payload, control bytes)."""
+
+    __slots__ = ("record_type", "payload", "control")
+
+    def __init__(self, record_type, payload=b"", control=b""):
+        self.record_type = record_type
+        self.payload = payload
+        self.control = control
+
+    def __repr__(self):
+        return "TcplsRecord(0x%02x, %d B payload, %d B control)" % (
+            self.record_type, len(self.payload), len(self.control)
+        )
+
+
+def encode_inner(record_type, payload=b"", control=b""):
+    """Frame the AEAD plaintext with end-of-record control data."""
+    if len(control) > 255:
+        raise ValueError("control fields limited to 255 bytes")
+    return bytes(payload) + bytes(control) + bytes(
+        [len(control), record_type]
+    )
+
+
+def decode_inner(plaintext, zero_copy=False):
+    """Parse a decrypted record; returns :class:`TcplsRecord`.
+
+    The receive path counterpart of :func:`encode_inner`: the payload is
+    the *prefix* of the buffer, so a zero-copy receiver just shrinks the
+    buffer length.  With ``zero_copy=True`` the payload is returned as a
+    :class:`memoryview` over ``plaintext`` -- no byte is moved, which is
+    exactly what the end-of-record layout enables (Sec. 3.1); a
+    header-first layout could not offer this without a memmove.
+    """
+    if len(plaintext) < 2:
+        raise ValueError("TCPLS record shorter than its trailer")
+    record_type = plaintext[-1]
+    control_len = plaintext[-2]
+    if len(plaintext) < 2 + control_len:
+        raise ValueError("control length exceeds record")
+    payload_end = len(plaintext) - 2 - control_len
+    control = bytes(plaintext[payload_end:-2])
+    if zero_copy:
+        payload = memoryview(plaintext)[:payload_end]
+    else:
+        payload = plaintext[:payload_end]
+    return TcplsRecord(record_type, payload, control)
+
+
+# -- typed control payload codecs -----------------------------------------
+
+
+def encode_stream_control(flags, coupled_seq=None):
+    """STREAM_DATA control tail."""
+    control = bytes([flags])
+    if flags & FLAG_COUPLED:
+        if coupled_seq is None:
+            raise ValueError("coupled flag requires a sequence number")
+        control += struct.pack("!Q", coupled_seq)
+    return control
+
+
+def decode_stream_control(control):
+    """Returns (flags, coupled_seq or None)."""
+    if not control:
+        return 0, None
+    flags = control[0]
+    coupled_seq = None
+    if flags & FLAG_COUPLED:
+        if len(control) < 9:
+            raise ValueError("coupled control truncated")
+        (coupled_seq,) = struct.unpack_from("!Q", control, 1)
+    return flags, coupled_seq
+
+
+def encode_ack(entries):
+    """ACK payload: count(u8) then (stream_id u32, next_seq u64) each."""
+    out = bytearray([len(entries)])
+    for stream_id, next_seq in entries:
+        out += struct.pack("!IQ", stream_id, next_seq)
+    return bytes(out)
+
+
+def decode_ack(payload):
+    count = payload[0]
+    entries = []
+    offset = 1
+    for _ in range(count):
+        stream_id, next_seq = struct.unpack_from("!IQ", payload, offset)
+        entries.append((stream_id, next_seq))
+        offset += 12
+    return entries
+
+
+def encode_sync(failed_conn_index, entries):
+    """SYNC payload: the failed connection and per-stream resume seqs."""
+    out = bytearray(struct.pack("!IB", failed_conn_index, len(entries)))
+    for stream_id, resume_seq in entries:
+        out += struct.pack("!IQ", stream_id, resume_seq)
+    return bytes(out)
+
+
+def decode_sync(payload):
+    failed_conn_index, count = struct.unpack_from("!IB", payload, 0)
+    entries = []
+    offset = 5
+    for _ in range(count):
+        stream_id, resume_seq = struct.unpack_from("!IQ", payload, offset)
+        entries.append((stream_id, resume_seq))
+        offset += 12
+    return failed_conn_index, entries
+
+
+def encode_tcp_option(kind, data):
+    return bytes([kind]) + data
+
+
+def decode_tcp_option(payload):
+    return payload[0], payload[1:]
+
+
+def encode_ebpf_chunk(program_id, chunk_index, total_chunks, data):
+    return struct.pack("!BHH", program_id, chunk_index, total_chunks) + data
+
+
+def decode_ebpf_chunk(payload):
+    program_id, chunk_index, total_chunks = struct.unpack_from("!BHH",
+                                                               payload, 0)
+    return program_id, chunk_index, total_chunks, payload[5:]
+
+
+def encode_stream_attach(stream_id, from_seq, coupled_group=0):
+    return struct.pack("!BIQI", CTRL_STREAM_ATTACH, stream_id, from_seq,
+                       coupled_group)
+
+
+def encode_stream_detach(stream_id, final_seq):
+    return struct.pack("!BIQ", CTRL_STREAM_DETACH, stream_id, final_seq)
+
+
+def encode_stream_close(stream_id):
+    return struct.pack("!BI", CTRL_STREAM_CLOSE, stream_id)
+
+
+_TCPINFO = struct.Struct("!BIIIQQI")
+
+
+def encode_tcpinfo_response(info):
+    """Pack the remote-``tcp_info`` fields the paper's API exposes."""
+    srtt_us = int((info.get("srtt") or 0.0) * 1e6)
+    ssthresh = info.get("ssthresh_bytes")
+    return _TCPINFO.pack(
+        CTRL_TCPINFO_RESPONSE,
+        srtt_us,
+        int(info.get("cwnd_bytes") or 0),
+        int(ssthresh if ssthresh is not None else 0xFFFFFFFF),
+        int(info.get("bytes_acked") or 0),
+        int(info.get("bytes_received") or 0),
+        int(info.get("retransmissions") or 0),
+    )
+
+
+def decode_tcpinfo_response(payload):
+    (_op, srtt_us, cwnd, ssthresh, acked, received,
+     retrans) = _TCPINFO.unpack(payload[:_TCPINFO.size])
+    return {
+        "srtt": srtt_us / 1e6,
+        "cwnd_bytes": cwnd,
+        "ssthresh_bytes": None if ssthresh == 0xFFFFFFFF else ssthresh,
+        "bytes_acked": acked,
+        "bytes_received": received,
+        "retransmissions": retrans,
+    }

@@ -1,0 +1,169 @@
+"""AEAD cipher suite registry.
+
+All ciphers share one interface so the TLS record layer and the TCPLS
+per-stream contexts are cipher-agnostic:
+
+- ``seal(nonce, plaintext, aad) -> ciphertext||tag``
+- ``open(nonce, data, aad) -> plaintext`` (raises on bad tag)
+- ``verify_tag(nonce, data, aad) -> bool`` -- cheap authentication
+  check *without* full decryption, the operation TCPLS uses to find the
+  right stream context by trial (Sec. 3.3.1 of the paper).
+"""
+
+import hashlib
+import hmac
+
+from repro.crypto.chacha20 import chacha20_block, chacha20_encrypt
+from repro.crypto.gcm import AesGcm
+from repro.crypto.poly1305 import poly1305_mac
+
+
+class AeadAuthenticationError(Exception):
+    """Tag verification failed (treated as a forgery attempt)."""
+
+
+class Aead:
+    """Base AEAD: subclasses define key/nonce sizes and the primitives."""
+
+    key_size = 32
+    nonce_size = 12
+    tag_size = 16
+    name = "base"
+
+    def __init__(self, key):
+        if len(key) != self.key_size:
+            raise ValueError(
+                "%s key must be %d bytes" % (self.name, self.key_size)
+            )
+        self.key = key
+
+    def seal(self, nonce, plaintext, aad=b""):
+        raise NotImplementedError
+
+    def open(self, nonce, data, aad=b""):
+        raise NotImplementedError
+
+    def verify_tag(self, nonce, data, aad=b""):
+        """Default: attempt full open (subclasses optimise)."""
+        try:
+            self.open(nonce, data, aad)
+        except AeadAuthenticationError:
+            return False
+        return True
+
+
+class Chacha20Poly1305(Aead):
+    """RFC 8439 AEAD_CHACHA20_POLY1305."""
+
+    key_size = 32
+    name = "chacha20poly1305"
+
+    def _poly_key(self, nonce):
+        return chacha20_block(self.key, 0, nonce)[:32]
+
+    def _auth(self, nonce, ciphertext, aad):
+        mac_data = aad + b"\x00" * ((-len(aad)) % 16)
+        mac_data += ciphertext + b"\x00" * ((-len(ciphertext)) % 16)
+        mac_data += len(aad).to_bytes(8, "little")
+        mac_data += len(ciphertext).to_bytes(8, "little")
+        return poly1305_mac(self._poly_key(nonce), mac_data)
+
+    def seal(self, nonce, plaintext, aad=b""):
+        ciphertext = chacha20_encrypt(self.key, 1, nonce, plaintext)
+        return ciphertext + self._auth(nonce, ciphertext, aad)
+
+    def open(self, nonce, data, aad=b""):
+        if len(data) < self.tag_size:
+            raise AeadAuthenticationError("record shorter than tag")
+        ciphertext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        expected = self._auth(nonce, ciphertext, aad)
+        if not hmac.compare_digest(expected, tag):
+            raise AeadAuthenticationError("Poly1305 tag mismatch")
+        return chacha20_encrypt(self.key, 1, nonce, ciphertext)
+
+    def verify_tag(self, nonce, data, aad=b""):
+        if len(data) < self.tag_size:
+            return False
+        ciphertext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        return hmac.compare_digest(self._auth(nonce, ciphertext, aad), tag)
+
+
+class Aes128Gcm(Aead):
+    """TLS_AES_128_GCM_SHA256's AEAD."""
+
+    key_size = 16
+    name = "aes128gcm"
+
+    def __init__(self, key):
+        super().__init__(key)
+        self._gcm = AesGcm(key)
+
+    def seal(self, nonce, plaintext, aad=b""):
+        return self._gcm.encrypt(nonce, plaintext, aad)
+
+    def open(self, nonce, data, aad=b""):
+        plaintext = self._gcm.decrypt(nonce, data, aad)
+        if plaintext is None:
+            raise AeadAuthenticationError("GCM tag mismatch")
+        return plaintext
+
+    def verify_tag(self, nonce, data, aad=b""):
+        return self._gcm.verify_tag(nonce, data, aad)
+
+
+class NullTagCipher(Aead):
+    """Identity "encryption" with a keyed BLAKE2s tag.
+
+    **Simulation substitute** (documented in DESIGN.md): pure-Python
+    AES/ChaCha20 cannot sustain megabytes of emulated traffic, so
+    simulator-scale experiments use this cipher.  It preserves the
+    properties TCPLS depends on -- a 16-byte tag bound to (key, nonce,
+    AAD, payload), failing verification under any other stream's key or
+    nonce -- while "encrypting" at memcpy speed.  It offers **no
+    confidentiality** and must never be used outside the simulator.
+    """
+
+    key_size = 32
+    name = "null-tag"
+
+    def _tag(self, nonce, ciphertext, aad):
+        mac = hashlib.blake2s(
+            nonce + len(aad).to_bytes(8, "little") + aad + ciphertext,
+            key=self.key,
+            digest_size=self.tag_size,
+        )
+        return mac.digest()
+
+    def seal(self, nonce, plaintext, aad=b""):
+        return plaintext + self._tag(nonce, plaintext, aad)
+
+    def open(self, nonce, data, aad=b""):
+        if len(data) < self.tag_size:
+            raise AeadAuthenticationError("record shorter than tag")
+        plaintext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        if not hmac.compare_digest(self._tag(nonce, plaintext, aad), tag):
+            raise AeadAuthenticationError("null-tag mismatch")
+        return plaintext
+
+    def verify_tag(self, nonce, data, aad=b""):
+        if len(data) < self.tag_size:
+            return False
+        plaintext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        return hmac.compare_digest(self._tag(nonce, plaintext, aad), tag)
+
+
+_CIPHERS = {
+    Chacha20Poly1305.name: Chacha20Poly1305,
+    Aes128Gcm.name: Aes128Gcm,
+    NullTagCipher.name: NullTagCipher,
+}
+
+
+def get_cipher(name):
+    """Look up an AEAD class by registry name."""
+    try:
+        return _CIPHERS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown cipher %r (have: %s)" % (name, ", ".join(sorted(_CIPHERS)))
+        ) from None

@@ -1,0 +1,63 @@
+"""ChaCha20 stream cipher (RFC 8439 section 2).
+
+Pure-Python, word-exact against the RFC test vectors.  Used by the
+CHACHA20_POLY1305_SHA256 suite; simulator-scale experiments prefer the
+fast null-tag cipher (see :mod:`repro.crypto.aead`).
+"""
+
+import struct
+
+MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(v, c):
+    return ((v << c) & MASK32) | (v >> (32 - c))
+
+
+def _quarter_round(state, a, b, c, d):
+    state[a] = (state[a] + state[b]) & MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key, counter, nonce):
+    """One 64-byte keystream block."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    constants = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+    state = list(constants)
+    state.extend(struct.unpack("<8I", key))
+    state.append(counter & MASK32)
+    state.extend(struct.unpack("<3I", nonce))
+    working = list(state)
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(working[i] + state[i]) & MASK32 for i in range(16)]
+    return struct.pack("<16I", *out)
+
+
+def chacha20_encrypt(key, counter, nonce, plaintext):
+    """Encrypt/decrypt (XOR keystream starting at block ``counter``)."""
+    out = bytearray(len(plaintext))
+    for block_index in range((len(plaintext) + 63) // 64):
+        keystream = chacha20_block(key, counter + block_index, nonce)
+        offset = block_index * 64
+        chunk = plaintext[offset:offset + 64]
+        out[offset:offset + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, keystream)
+        )
+    return bytes(out)

@@ -1,0 +1,74 @@
+"""Finite-field Diffie-Hellman over the RFC 7919 ffdhe2048 group.
+
+Provides the ``(EC)DHE`` contribution to the TLS 1.3 handshake.  The
+group is the standardised 2048-bit safe prime; exponentiation uses
+Python's constant ``pow``.
+"""
+
+import hashlib
+
+# RFC 7919 appendix A.1: ffdhe2048 prime.
+_FFDHE2048_P_HEX = (
+    "FFFFFFFFFFFFFFFFADF85458A2BB4A9AAFDC5620273D3CF1"
+    "D8B9C583CE2D3695A9E13641146433FBCC939DCE249B3EF9"
+    "7D2FE363630C75D8F681B202AEC4617AD3DF1ED5D5FD6561"
+    "2433F51F5F066ED0856365553DED1AF3B557135E7F57C935"
+    "984F0C70E0E68B77E2A689DAF3EFE8721DF158A136ADE735"
+    "30ACCA4F483A797ABC0AB182B324FB61D108A94BB2C8E3FB"
+    "B96ADAB760D7F4681D4F42A3DE394DF4AE56EDE76372BB19"
+    "0B07A7C8EE0A6D709E02FCE1CDF7E2ECC03404CD28342F61"
+    "9172FE9CE98583FF8E4F1232EEF28183C3FE3B1B4C6FAD73"
+    "3BB5FCBC2EC22005C58EF1837D1683B2C6F34A26C1B2EFFA"
+    "886B423861285C97FFFFFFFFFFFFFFFF"
+)
+
+FFDHE2048_P = int(_FFDHE2048_P_HEX, 16)
+FFDHE2048_G = 2
+FFDHE2048_LEN = 256  # bytes
+
+
+class FFDHE2048:
+    """The ffdhe2048 named group (TLS group id 0x0100)."""
+
+    group_id = 0x0100
+    p = FFDHE2048_P
+    g = FFDHE2048_G
+    key_length = FFDHE2048_LEN
+
+    @classmethod
+    def generate(cls, rng):
+        """Generate a key pair from the given ``random.Random``."""
+        private = rng.getrandbits(2048) % (cls.p - 2) + 1
+        public = pow(cls.g, private, cls.p)
+        return DHKeyPair(private, public)
+
+    @classmethod
+    def shared_secret(cls, private, peer_public):
+        """Compute Z, left-padded to the group length (RFC 8446 7.4.1)."""
+        if not 1 < peer_public < cls.p - 1:
+            raise ValueError("peer public value out of range")
+        z = pow(peer_public, private, cls.p)
+        return z.to_bytes(cls.key_length, "big")
+
+
+class DHKeyPair:
+    """A private/public FFDHE key pair."""
+
+    __slots__ = ("private", "public")
+
+    def __init__(self, private, public):
+        self.private = private
+        self.public = public
+
+    def public_bytes(self):
+        return self.public.to_bytes(FFDHE2048_LEN, "big")
+
+    @staticmethod
+    def public_from_bytes(data):
+        if len(data) != FFDHE2048_LEN:
+            raise ValueError("ffdhe2048 public value must be 256 bytes")
+        return int.from_bytes(data, "big")
+
+    def fingerprint(self):
+        """Short identifier for logs/tests."""
+        return hashlib.sha256(self.public_bytes()).hexdigest()[:16]

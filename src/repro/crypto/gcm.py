@@ -1,0 +1,104 @@
+"""Galois/Counter Mode (NIST SP 800-38D) over AES-128."""
+
+import struct
+
+from repro.crypto.aes import Aes128
+
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf_mult(x, y):
+    """Carry-less multiplication in GF(2^128) with the GCM polynomial."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class Ghash:
+    """GHASH universal hash keyed by H = E_K(0^128)."""
+
+    def __init__(self, h_key):
+        self._h = int.from_bytes(h_key, "big")
+
+    def digest(self, aad, ciphertext):
+        y = 0
+        for block in self._blocks(aad) + self._blocks(ciphertext):
+            y = _gf_mult(y ^ int.from_bytes(block, "big"), self._h)
+        lengths = struct.pack("!QQ", len(aad) * 8, len(ciphertext) * 8)
+        y = _gf_mult(y ^ int.from_bytes(lengths, "big"), self._h)
+        return y.to_bytes(16, "big")
+
+    @staticmethod
+    def _blocks(data):
+        blocks = []
+        for i in range(0, len(data), 16):
+            chunk = data[i:i + 16]
+            if len(chunk) < 16:
+                chunk = chunk + b"\x00" * (16 - len(chunk))
+            blocks.append(chunk)
+        return blocks
+
+
+class AesGcm:
+    """AES-128-GCM authenticated encryption with 12-byte nonces."""
+
+    TAG_LENGTH = 16
+
+    def __init__(self, key):
+        self._aes = Aes128(key)
+        self._ghash = Ghash(self._aes.encrypt_block(b"\x00" * 16))
+
+    def _ctr_stream(self, j0, length):
+        out = bytearray()
+        counter = int.from_bytes(j0[12:], "big")
+        prefix = j0[:12]
+        for _ in range((length + 15) // 16):
+            counter = (counter + 1) & 0xFFFFFFFF
+            out += self._aes.encrypt_block(prefix + counter.to_bytes(4, "big"))
+        return bytes(out[:length])
+
+    def encrypt(self, nonce, plaintext, aad=b""):
+        """Returns ciphertext || 16-byte tag."""
+        if len(nonce) != 12:
+            raise ValueError("GCM nonce must be 12 bytes")
+        j0 = nonce + b"\x00\x00\x00\x01"
+        stream = self._ctr_stream(j0, len(plaintext))
+        ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+        s = self._ghash.digest(aad, ciphertext)
+        tag_stream = self._aes.encrypt_block(j0)
+        tag = bytes(a ^ b for a, b in zip(s, tag_stream))
+        return ciphertext + tag
+
+    def decrypt(self, nonce, data, aad=b""):
+        """Returns plaintext, or None if the tag does not verify."""
+        if len(data) < self.TAG_LENGTH:
+            return None
+        ciphertext, tag = data[:-self.TAG_LENGTH], data[-self.TAG_LENGTH:]
+        j0 = nonce + b"\x00\x00\x00\x01"
+        s = self._ghash.digest(aad, ciphertext)
+        tag_stream = self._aes.encrypt_block(j0)
+        expected = bytes(a ^ b for a, b in zip(s, tag_stream))
+        if expected != tag:
+            return None
+        stream = self._ctr_stream(j0, len(ciphertext))
+        return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+    def verify_tag(self, nonce, data, aad=b""):
+        """Tag check without producing plaintext (Encrypt-then-MAC-style
+        cheap trial used by TCPLS stream demux)."""
+        if len(data) < self.TAG_LENGTH:
+            return False
+        ciphertext, tag = data[:-self.TAG_LENGTH], data[-self.TAG_LENGTH:]
+        j0 = nonce + b"\x00\x00\x00\x01"
+        s = self._ghash.digest(aad, ciphertext)
+        expected = bytes(
+            a ^ b for a, b in zip(s, self._aes.encrypt_block(j0))
+        )
+        return expected == tag

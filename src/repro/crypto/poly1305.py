@@ -1,0 +1,19 @@
+"""Poly1305 one-time authenticator (RFC 8439 section 2.5)."""
+
+P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(key, message):
+    """16-byte tag over ``message`` with a 32-byte one-time key."""
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little")
+    r &= 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF  # clamp
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for i in range(0, len(message), 16):
+        chunk = message[i:i + 16]
+        n = int.from_bytes(chunk + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % P1305
+    tag = (accumulator + s) & ((1 << 128) - 1)
+    return tag.to_bytes(16, "little")

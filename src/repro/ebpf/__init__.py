@@ -1,0 +1,45 @@
+"""eBPF-subset virtual machine for remotely-attached congestion control.
+
+The paper's Sec. 4.4 ships an eBPF congestion controller from the
+server to the client inside encrypted TCPLS records; the client
+verifies and attaches it to the running TCP connection (Fig. 12).  This
+package provides the whole chain:
+
+- a register-machine ISA matching eBPF's encoding (64-bit instructions,
+  registers r0-r10, a 512-byte stack, a context pointer in r1);
+- a two-pass text assembler;
+- a static verifier (register validity, jump bounds, stack discipline,
+  termination) run before any received program is attached;
+- an interpreter with a bounded instruction budget and a kernel-style
+  helper table (including ``cbrt_u64``, mirroring how Linux exposes
+  ``cubic_root`` to BPF congestion controllers);
+- :class:`~repro.ebpf.cc_hooks.EbpfCongestionControl`, an adapter
+  running a verified program behind the native
+  :class:`~repro.tcp.congestion.CongestionControl` interface;
+- ready-made bytecode twins of NewReno and CUBIC in
+  :mod:`repro.ebpf.programs`.
+"""
+
+from repro.ebpf.isa import Instruction, decode_program, encode_program
+from repro.ebpf.assembler import AssemblyError, assemble
+from repro.ebpf.verifier import VerificationError, verify
+from repro.ebpf.vm import EbpfVm, ExecutionError
+from repro.ebpf.cc_hooks import EbpfCongestionControl
+from repro.ebpf.programs import CUBIC_ASM, RENO_ASM, cubic_bytecode, reno_bytecode
+
+__all__ = [
+    "AssemblyError",
+    "CUBIC_ASM",
+    "EbpfCongestionControl",
+    "EbpfVm",
+    "ExecutionError",
+    "Instruction",
+    "RENO_ASM",
+    "VerificationError",
+    "assemble",
+    "cubic_bytecode",
+    "decode_program",
+    "encode_program",
+    "reno_bytecode",
+    "verify",
+]

@@ -1,0 +1,203 @@
+"""Two-pass assembler for the eBPF subset.
+
+Syntax (one instruction per line, ``;`` or ``#`` comments)::
+
+    start:
+        mov   r0, 0          ; register <- immediate
+        lddw  r2, 0x1_0000_0000  ; 64-bit immediate
+        add   r0, r1         ; register <- register
+        ldxdw r3, [r1+16]    ; load u64 from ctx
+        stxdw [r1+56], r3    ; store u64
+        jgt   r3, r4, done   ; conditional jump to label
+        call  cbrt           ; helper by name or id
+        ja    start
+    done:
+        exit
+
+Jump offsets are resolved label-relative in *instruction* units (a
+simplification relative to the kernel's slot units; the matching VM in
+:mod:`repro.ebpf.vm` uses the same convention).
+"""
+
+import re
+
+from repro.ebpf import isa
+from repro.ebpf.isa import Instruction
+
+#: helper name -> id table (mirrors the kernel exposing cubic_root etc.)
+HELPERS = {
+    "cbrt": 1,
+    "isqrt": 2,
+    "trace": 3,
+}
+
+
+class AssemblyError(Exception):
+    """Bad assembly source."""
+
+
+_ALU_OPS = {
+    "add": isa.ALU_ADD, "sub": isa.ALU_SUB, "mul": isa.ALU_MUL,
+    "div": isa.ALU_DIV, "or": isa.ALU_OR, "and": isa.ALU_AND,
+    "lsh": isa.ALU_LSH, "rsh": isa.ALU_RSH, "mod": isa.ALU_MOD,
+    "xor": isa.ALU_XOR, "mov": isa.ALU_MOV, "arsh": isa.ALU_ARSH,
+}
+
+_JMP_OPS = {
+    "jeq": isa.JMP_JEQ, "jne": isa.JMP_JNE, "jgt": isa.JMP_JGT,
+    "jge": isa.JMP_JGE, "jlt": isa.JMP_JLT, "jle": isa.JMP_JLE,
+    "jsgt": isa.JMP_JSGT, "jsge": isa.JMP_JSGE, "jslt": isa.JMP_JSLT,
+    "jsle": isa.JMP_JSLE,
+}
+
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*([+-]\s*\d+)?\s*\]$")
+
+
+def _parse_reg(token):
+    if not re.fullmatch(r"r(10|[0-9])", token):
+        raise AssemblyError("bad register %r" % token)
+    return int(token[1:])
+
+
+def _parse_imm(token):
+    try:
+        return int(token.replace("_", ""), 0)
+    except ValueError:
+        raise AssemblyError("bad immediate %r" % token) from None
+
+
+def _parse_mem(token):
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblyError("bad memory operand %r" % token)
+    reg = _parse_reg(match.group(1))
+    offset = int(match.group(2).replace(" ", "")) if match.group(2) else 0
+    return reg, offset
+
+
+def _tokenize(line):
+    mnemonic, _, rest = line.partition(" ")
+    operands = [t.strip() for t in rest.split(",")] if rest.strip() else []
+    return mnemonic.strip().lower(), operands
+
+
+def assemble(source):
+    """Assemble text into a list of :class:`Instruction`."""
+    lines = []
+    for raw in source.splitlines():
+        line = re.split(r"[;#]", raw, 1)[0].strip()
+        if line:
+            lines.append(line)
+
+    # Pass 1: label positions.
+    labels = {}
+    index = 0
+    for line in lines:
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not re.fullmatch(r"[A-Za-z_][\w.]*", label):
+                raise AssemblyError("bad label %r" % label)
+            if label in labels:
+                raise AssemblyError("duplicate label %r" % label)
+            labels[label] = index
+        else:
+            index += 1
+
+    # Pass 2: encode.
+    instructions = []
+    index = 0
+    for line in lines:
+        if line.endswith(":"):
+            continue
+        instructions.append(_encode_line(line, index, labels))
+        index += 1
+    return instructions
+
+
+def _branch_offset(label, index, labels):
+    if label not in labels:
+        raise AssemblyError("unknown label %r" % label)
+    return labels[label] - index - 1
+
+
+def _encode_line(line, index, labels):
+    mnemonic, ops = _tokenize(line)
+
+    if mnemonic == "exit":
+        return Instruction(isa.CLS_JMP | isa.JMP_EXIT)
+
+    if mnemonic == "ja":
+        if len(ops) != 1:
+            raise AssemblyError("ja takes one label")
+        return Instruction(isa.CLS_JMP | isa.JMP_JA,
+                           offset=_branch_offset(ops[0], index, labels))
+
+    if mnemonic == "call":
+        if len(ops) != 1:
+            raise AssemblyError("call takes one helper")
+        helper = ops[0]
+        helper_id = HELPERS.get(helper)
+        if helper_id is None:
+            helper_id = _parse_imm(helper)
+        return Instruction(isa.CLS_JMP | isa.JMP_CALL, imm=helper_id)
+
+    if mnemonic == "neg":
+        if len(ops) != 1:
+            raise AssemblyError("neg takes one register")
+        return Instruction(isa.CLS_ALU64 | isa.ALU_NEG, dst=_parse_reg(ops[0]))
+
+    if mnemonic == "lddw":
+        if len(ops) != 2:
+            raise AssemblyError("lddw rd, imm64")
+        return Instruction(isa.OP_LDDW, dst=_parse_reg(ops[0]),
+                           imm=_parse_imm(ops[1]))
+
+    if mnemonic in _ALU_OPS:
+        if len(ops) != 2:
+            raise AssemblyError("%s rd, (rs|imm)" % mnemonic)
+        dst = _parse_reg(ops[0])
+        op = isa.CLS_ALU64 | _ALU_OPS[mnemonic]
+        if re.fullmatch(r"r(10|[0-9])", ops[1]):
+            return Instruction(op | isa.SRC_REG, dst=dst,
+                               src=_parse_reg(ops[1]))
+        return Instruction(op, dst=dst, imm=_parse_imm(ops[1]))
+
+    if mnemonic in _JMP_OPS:
+        if len(ops) != 3:
+            raise AssemblyError("%s rd, (rs|imm), label" % mnemonic)
+        dst = _parse_reg(ops[0])
+        offset = _branch_offset(ops[2], index, labels)
+        op = isa.CLS_JMP | _JMP_OPS[mnemonic]
+        if re.fullmatch(r"r(10|[0-9])", ops[1]):
+            return Instruction(op | isa.SRC_REG, dst=dst,
+                               src=_parse_reg(ops[1]), offset=offset)
+        return Instruction(op, dst=dst, imm=_parse_imm(ops[1]),
+                           offset=offset)
+
+    match = re.fullmatch(r"(ldx|stx|st)(b|h|w|dw)", mnemonic)
+    if match:
+        kind, size_name = match.groups()
+        size = {"b": isa.SIZE_B, "h": isa.SIZE_H, "w": isa.SIZE_W,
+                "dw": isa.SIZE_DW}[size_name]
+        if kind == "ldx":
+            if len(ops) != 2:
+                raise AssemblyError("ldx rd, [rs+off]")
+            dst = _parse_reg(ops[0])
+            src, offset = _parse_mem(ops[1])
+            return Instruction(isa.CLS_LDX | size | isa.MODE_MEM, dst=dst,
+                               src=src, offset=offset)
+        if kind == "stx":
+            if len(ops) != 2:
+                raise AssemblyError("stx [rd+off], rs")
+            dst, offset = _parse_mem(ops[0])
+            src = _parse_reg(ops[1])
+            return Instruction(isa.CLS_STX | size | isa.MODE_MEM, dst=dst,
+                               src=src, offset=offset)
+        # st: immediate store
+        if len(ops) != 2:
+            raise AssemblyError("st [rd+off], imm")
+        dst, offset = _parse_mem(ops[0])
+        return Instruction(isa.CLS_ST | size | isa.MODE_MEM, dst=dst,
+                           offset=offset, imm=_parse_imm(ops[1]))
+
+    raise AssemblyError("unknown mnemonic %r in %r" % (mnemonic, line))

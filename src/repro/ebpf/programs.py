@@ -1,0 +1,229 @@
+"""Congestion controllers as eBPF assembly.
+
+These are the programs the Fig. 12 experiment ships over a TCPLS
+session: bytecode twins of NewReno and CUBIC against the context ABI of
+:mod:`repro.ebpf.cc_hooks`.  The CUBIC program uses the ``cbrt`` helper
+the VM exposes, the same way Linux exposes ``cubic_root`` to BPF
+congestion controllers.  The bytecode CUBIC omits the TCP-friendly
+region and HyStart of the native implementation -- it is the cubic
+window curve plus multiplicative decrease, which is what the fairness
+experiment exercises.
+"""
+
+from repro.ebpf.assembler import assemble
+from repro.ebpf.isa import encode_program
+
+# Scratch slot assignments (ctx offsets):
+#   [72]  w_max            (cubic) / ack accumulator (reno)
+#   [80]  epoch_start_us   (cubic)
+#   [88]  k_ms             (cubic)
+#   [96]  byte accumulator (cubic)
+
+RENO_ASM = """
+; NewReno over the cc_hooks context ABI.
+    ldxdw r2, [r1+0]
+    jeq   r2, 1, ack
+    jeq   r2, 2, loss
+    jeq   r2, 3, rto
+    exit                      ; init: defaults are fine
+
+ack:
+    ldxdw r3, [r1+56]         ; cwnd
+    ldxdw r4, [r1+64]         ; ssthresh
+    ldxdw r5, [r1+48]         ; mss
+    ldxdw r6, [r1+16]         ; acked bytes
+    jge   r3, r4, avoid
+    add   r3, r6              ; slow start: cwnd += acked
+    jle   r3, r4, store_cwnd
+    mov   r3, r4
+    ja    store_cwnd
+avoid:
+    ldxdw r7, [r1+72]         ; acc
+    add   r7, r6
+    jge   r7, r3, bump
+    stxdw [r1+72], r7
+    exit
+bump:
+    sub   r7, r3
+    stxdw [r1+72], r7
+    add   r3, r5              ; cwnd += mss per cwnd acked
+store_cwnd:
+    stxdw [r1+56], r3
+    exit
+
+loss:
+    ldxdw r3, [r1+56]
+    ldxdw r5, [r1+48]
+    div   r3, 2
+    mov   r8, r5
+    mul   r8, 2
+    jge   r3, r8, loss_ok
+    mov   r3, r8
+loss_ok:
+    stxdw [r1+64], r3
+    stxdw [r1+56], r3
+    stdw  [r1+72], 0
+    exit
+
+rto:
+    ldxdw r3, [r1+56]
+    ldxdw r5, [r1+48]
+    div   r3, 2
+    mov   r8, r5
+    mul   r8, 2
+    jge   r3, r8, rto_ok
+    mov   r3, r8
+rto_ok:
+    stxdw [r1+64], r3
+    stxdw [r1+56], r5
+    stdw  [r1+72], 0
+    exit
+"""
+
+CUBIC_ASM = """
+; CUBIC over the cc_hooks context ABI (fixed-point, milliseconds).
+; W(t) = w_max + 0.4 * mss * (t - K)^3, K = cbrt((w_max-cwnd)/(0.4*mss)).
+; In integer ms: K_ms = cbrt((w_max - cwnd) * 2500000000 / mss),
+;                delta = mss * d^3 / 2500000000   with d = t_ms - K_ms.
+    ldxdw r2, [r1+0]
+    jeq   r2, 1, ack
+    jeq   r2, 2, loss
+    jeq   r2, 3, rto
+    exit
+
+ack:
+    ldxdw r3, [r1+56]         ; cwnd
+    ldxdw r4, [r1+64]         ; ssthresh
+    ldxdw r5, [r1+48]         ; mss
+    ldxdw r6, [r1+16]         ; acked bytes
+    jge   r3, r4, avoid
+    add   r3, r6              ; slow start
+    jle   r3, r4, ss_store
+    mov   r3, r4
+ss_store:
+    stxdw [r1+56], r3
+    exit
+
+avoid:
+    ldxdw r7, [r1+80]         ; epoch_start_us
+    jne   r7, 0, have_epoch
+    ldxdw r7, [r1+8]          ; now_us
+    stxdw [r1+80], r7
+    ldxdw r8, [r1+72]         ; w_max
+    jgt   r8, r3, calc_k
+    stxdw [r1+72], r3         ; w_max = cwnd (no recorded plateau)
+    stdw  [r1+88], 0
+    ja    have_epoch
+calc_k:
+    mov   r9, r8
+    sub   r9, r3              ; w_max - cwnd
+    lddw  r2, 2500000000
+    mul   r9, r2
+    div   r9, r5
+    stxdw [r10-8], r1         ; save ctx across the helper call
+    mov   r1, r9
+    call  cbrt
+    ldxdw r1, [r10-8]
+    stxdw [r1+88], r0         ; K in ms
+
+have_epoch:
+    ldxdw r7, [r1+8]          ; now_us
+    ldxdw r8, [r1+80]
+    sub   r7, r8
+    div   r7, 1000            ; t in ms
+    jle   r7, 40000, t_ok
+    mov   r7, 40000           ; clamp to keep d^3 in range
+t_ok:
+    ldxdw r8, [r1+88]         ; K_ms
+    sub   r7, r8              ; d = t - K (signed)
+    mov   r8, r7
+    mov   r2, r7
+    mul   r2, r8
+    mul   r2, r7              ; d^3 (two's complement)
+    mul   r2, r5              ; * mss
+    lddw  r9, 2500000000
+    jsge  r2, 0, pos_div
+    neg   r2
+    div   r2, r9
+    neg   r2
+    ja    div_done
+pos_div:
+    div   r2, r9
+div_done:
+    ldxdw r8, [r1+72]         ; w_max
+    add   r8, r2              ; target
+    jsge  r8, 0, t_clamped
+    mov   r8, 0
+t_clamped:
+    jgt   r8, r3, grow
+    mov   r2, r3              ; target <= cwnd: crawl (cnt = 100*cwnd/mss)
+    mul   r2, 100
+    div   r2, r5
+    ja    have_cnt
+grow:
+    mov   r2, r8
+    sub   r2, r3              ; target - cwnd
+    mov   r9, r3
+    div   r9, r2
+    mov   r2, r9              ; cnt = cwnd / (target - cwnd)
+    jge   r2, 2, have_cnt
+    mov   r2, 2               ; at most +0.5 MSS per acked MSS
+have_cnt:
+    ldxdw r9, [r1+96]         ; byte accumulator
+    add   r9, r6
+    mov   r7, r9
+    div   r7, r2              ; increment = acc / cnt
+    mov   r8, r7
+    mul   r8, r2
+    sub   r9, r8
+    stxdw [r1+96], r9
+    add   r3, r7
+    stxdw [r1+56], r3
+    exit
+
+loss:
+    ldxdw r3, [r1+56]
+    ldxdw r5, [r1+48]
+    stxdw [r1+72], r3         ; w_max = cwnd
+    mov   r7, r3
+    mul   r7, 7
+    div   r7, 10              ; beta = 0.7
+    mov   r8, r5
+    mul   r8, 2
+    jge   r7, r8, loss_ok
+    mov   r7, r8
+loss_ok:
+    stxdw [r1+64], r7
+    stxdw [r1+56], r7
+    stdw  [r1+80], 0          ; restart the epoch
+    stdw  [r1+96], 0
+    exit
+
+rto:
+    ldxdw r3, [r1+56]
+    ldxdw r5, [r1+48]
+    stxdw [r1+72], r3
+    mov   r7, r3
+    mul   r7, 7
+    div   r7, 10
+    mov   r8, r5
+    mul   r8, 2
+    jge   r7, r8, rto_ok
+    mov   r7, r8
+rto_ok:
+    stxdw [r1+64], r7
+    stxdw [r1+56], r5         ; collapse to one MSS
+    stdw  [r1+80], 0
+    stdw  [r1+96], 0
+    exit
+"""
+
+
+def reno_bytecode():
+    """NewReno as wire bytecode."""
+    return encode_program(assemble(RENO_ASM))
+
+
+def cubic_bytecode():
+    """CUBIC as wire bytecode."""
+    return encode_program(assemble(CUBIC_ASM))

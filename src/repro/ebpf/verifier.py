@@ -1,0 +1,130 @@
+"""Static verifier for received eBPF programs.
+
+TCPLS attaches congestion controllers received over the network; the
+verifier is the trust boundary (as in the kernel).  Checks performed:
+
+- all opcodes belong to the supported subset;
+- register numbers are in range, r10 (frame pointer) is read-only;
+- every jump lands inside the program;
+- division/modulo by a zero immediate is rejected;
+- stack accesses through r10 stay within the 512-byte frame;
+- the program can terminate (an ``exit`` is reachable) and does not
+  exceed the instruction-count limit;
+- back-edges (loops) are rejected unless ``allow_loops`` -- the runtime
+  instruction budget then bounds execution instead.
+"""
+
+from repro.ebpf import isa
+
+MAX_INSTRUCTIONS = 4096
+STACK_SIZE = 512
+
+
+class VerificationError(Exception):
+    """Program rejected by the verifier."""
+
+
+_ALU_OPS = {
+    isa.ALU_ADD, isa.ALU_SUB, isa.ALU_MUL, isa.ALU_DIV, isa.ALU_OR,
+    isa.ALU_AND, isa.ALU_LSH, isa.ALU_RSH, isa.ALU_NEG, isa.ALU_MOD,
+    isa.ALU_XOR, isa.ALU_MOV, isa.ALU_ARSH,
+}
+
+_JMP_OPS = {
+    isa.JMP_JA, isa.JMP_JEQ, isa.JMP_JGT, isa.JMP_JGE, isa.JMP_JNE,
+    isa.JMP_JSGT, isa.JMP_JSGE, isa.JMP_CALL, isa.JMP_EXIT, isa.JMP_JLT,
+    isa.JMP_JLE, isa.JMP_JSLT, isa.JMP_JSLE,
+}
+
+
+def _check_registers(idx, insn):
+    if not 0 <= insn.dst <= 10 or not 0 <= insn.src <= 10:
+        raise VerificationError("insn %d: register out of range" % idx)
+    writes_dst = (
+        insn.cls == isa.CLS_ALU64
+        or insn.cls == isa.CLS_LDX
+        or insn.opcode == isa.OP_LDDW
+    )
+    if writes_dst and insn.dst == 10:
+        raise VerificationError(
+            "insn %d: r10 (frame pointer) is read-only" % idx
+        )
+
+
+def verify(instructions, helpers=None, allow_loops=False):
+    """Raise :class:`VerificationError` if the program is unsafe."""
+    if not instructions:
+        raise VerificationError("empty program")
+    if len(instructions) > MAX_INSTRUCTIONS:
+        raise VerificationError(
+            "program too long: %d instructions" % len(instructions)
+        )
+    count = len(instructions)
+    has_exit = False
+    for idx, insn in enumerate(instructions):
+        _check_registers(idx, insn)
+        cls = insn.cls
+        if cls == isa.CLS_ALU64:
+            op = insn.opcode & 0xF0
+            if op not in _ALU_OPS:
+                raise VerificationError(
+                    "insn %d: unknown ALU op 0x%02x" % (idx, insn.opcode)
+                )
+            if op in (isa.ALU_DIV, isa.ALU_MOD) and not (
+                insn.opcode & isa.SRC_REG
+            ) and insn.imm == 0:
+                raise VerificationError("insn %d: division by zero" % idx)
+            if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH) and not (
+                insn.opcode & isa.SRC_REG
+            ) and not 0 <= insn.imm < 64:
+                raise VerificationError("insn %d: shift out of range" % idx)
+        elif cls == isa.CLS_JMP:
+            op = insn.opcode & 0xF0
+            if op not in _JMP_OPS:
+                raise VerificationError(
+                    "insn %d: unknown JMP op 0x%02x" % (idx, insn.opcode)
+                )
+            if op == isa.JMP_EXIT:
+                has_exit = True
+                continue
+            if op == isa.JMP_CALL:
+                if helpers is not None and insn.imm not in helpers:
+                    raise VerificationError(
+                        "insn %d: unknown helper %d" % (idx, insn.imm)
+                    )
+                continue
+            target = idx + 1 + insn.offset
+            if not 0 <= target < count:
+                raise VerificationError(
+                    "insn %d: jump target %d out of bounds" % (idx, target)
+                )
+            if insn.offset < 0 and not allow_loops:
+                raise VerificationError(
+                    "insn %d: back-edge rejected (loops disallowed)" % idx
+                )
+        elif cls in (isa.CLS_LDX, isa.CLS_STX, isa.CLS_ST):
+            size = insn.opcode & 0x18
+            if size not in isa.SIZE_BYTES:
+                raise VerificationError("insn %d: bad access size" % idx)
+            pointer = insn.src if cls == isa.CLS_LDX else insn.dst
+            if pointer == 10:
+                width = isa.SIZE_BYTES[size]
+                if not -STACK_SIZE <= insn.offset <= -width:
+                    raise VerificationError(
+                        "insn %d: stack access [r10%+d] out of frame"
+                        % (idx, insn.offset)
+                    )
+        elif insn.opcode == isa.OP_LDDW:
+            pass
+        else:
+            raise VerificationError(
+                "insn %d: unsupported opcode 0x%02x" % (idx, insn.opcode)
+            )
+    if not has_exit:
+        raise VerificationError("program has no exit instruction")
+    # Fall-through off the end must be impossible: last insn must be an
+    # exit or an unconditional jump.
+    last = instructions[-1]
+    last_op = last.opcode & 0xF0
+    if not (last.cls == isa.CLS_JMP and last_op in (isa.JMP_EXIT, isa.JMP_JA)):
+        raise VerificationError("program can fall off the end")

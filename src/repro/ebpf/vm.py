@@ -1,0 +1,216 @@
+"""eBPF interpreter.
+
+Executes a verified program against a context buffer (passed in r1, as
+the kernel passes ``struct bpf_sock_ops``-style contexts).  Memory
+accesses are bounds-checked at runtime against the context and the
+512-byte stack frame; execution is bounded by an instruction budget.
+"""
+
+from repro.ebpf import isa
+from repro.ebpf.verifier import STACK_SIZE
+
+MASK64 = (1 << 64) - 1
+
+DEFAULT_INSTRUCTION_BUDGET = 100_000
+
+
+class ExecutionError(Exception):
+    """Runtime fault (bad memory access, budget exhausted, bad helper)."""
+
+
+def _to_signed(value):
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _cbrt_u64(x):
+    """Integer cube root (the kernel's cubic_root equivalent)."""
+    if x <= 0:
+        return 0
+    root = int(round(x ** (1.0 / 3.0)))
+    for candidate in (root - 1, root, root + 1, root + 2):
+        if candidate >= 0 and candidate ** 3 <= x < (candidate + 1) ** 3:
+            return candidate
+    while root ** 3 > x:
+        root -= 1
+    while (root + 1) ** 3 <= x:
+        root += 1
+    return root
+
+
+def _isqrt_u64(x):
+    if x < 0:
+        return 0
+    import math
+
+    return math.isqrt(x)
+
+
+class EbpfVm:
+    """Interpreter instance (one per attached program)."""
+
+    def __init__(self, instructions, helpers=None,
+                 instruction_budget=DEFAULT_INSTRUCTION_BUDGET):
+        self.instructions = list(instructions)
+        self.instruction_budget = instruction_budget
+        self.trace = []
+        self.helpers = {
+            1: lambda vm, a, b, c, d, e: _cbrt_u64(a),
+            2: lambda vm, a, b, c, d, e: _isqrt_u64(a),
+            3: self._helper_trace,
+        }
+        if helpers:
+            self.helpers.update(helpers)
+
+    def _helper_trace(self, vm, a, b, c, d, e):
+        self.trace.append((a, b))
+        return 0
+
+    def run(self, ctx):
+        """Execute with ``ctx`` (a bytearray) mapped at a virtual base.
+
+        Returns r0.  The context is mutated in place by stores, which is
+        how congestion-control programs publish their new cwnd.
+        """
+        # Virtual memory layout: ctx at CTX_BASE, stack below STACK_TOP.
+        CTX_BASE = 0x1000
+        STACK_TOP = 0x8000
+        stack = bytearray(STACK_SIZE)
+        regs = [0] * 11
+        regs[1] = CTX_BASE
+        regs[2] = len(ctx)
+        regs[10] = STACK_TOP
+
+        def load(address, width):
+            if CTX_BASE <= address and address + width <= CTX_BASE + len(ctx):
+                return int.from_bytes(
+                    ctx[address - CTX_BASE:address - CTX_BASE + width],
+                    "little",
+                )
+            if (STACK_TOP - STACK_SIZE <= address
+                    and address + width <= STACK_TOP):
+                base = address - (STACK_TOP - STACK_SIZE)
+                return int.from_bytes(stack[base:base + width], "little")
+            raise ExecutionError("load fault at 0x%x" % address)
+
+        def store(address, width, value):
+            data = (value & MASK64).to_bytes(8, "little")[:width]
+            if CTX_BASE <= address and address + width <= CTX_BASE + len(ctx):
+                ctx[address - CTX_BASE:address - CTX_BASE + width] = data
+                return
+            if (STACK_TOP - STACK_SIZE <= address
+                    and address + width <= STACK_TOP):
+                base = address - (STACK_TOP - STACK_SIZE)
+                stack[base:base + width] = data
+                return
+            raise ExecutionError("store fault at 0x%x" % address)
+
+        pc = 0
+        executed = 0
+        count = len(self.instructions)
+        while True:
+            if pc >= count:
+                raise ExecutionError("fell off the end of the program")
+            executed += 1
+            if executed > self.instruction_budget:
+                raise ExecutionError("instruction budget exhausted")
+            insn = self.instructions[pc]
+            opcode = insn.opcode
+            cls = insn.cls
+            if opcode == isa.OP_LDDW:
+                regs[insn.dst] = insn.imm & MASK64
+                pc += 1
+                continue
+            if cls == isa.CLS_ALU64:
+                op = opcode & 0xF0
+                src_val = (
+                    regs[insn.src] if opcode & isa.SRC_REG
+                    else insn.imm & MASK64
+                )
+                dst_val = regs[insn.dst]
+                if op == isa.ALU_ADD:
+                    result = dst_val + src_val
+                elif op == isa.ALU_SUB:
+                    result = dst_val - src_val
+                elif op == isa.ALU_MUL:
+                    result = dst_val * src_val
+                elif op == isa.ALU_DIV:
+                    if src_val == 0:
+                        raise ExecutionError("division by zero")
+                    result = dst_val // src_val
+                elif op == isa.ALU_MOD:
+                    if src_val == 0:
+                        raise ExecutionError("modulo by zero")
+                    result = dst_val % src_val
+                elif op == isa.ALU_OR:
+                    result = dst_val | src_val
+                elif op == isa.ALU_AND:
+                    result = dst_val & src_val
+                elif op == isa.ALU_XOR:
+                    result = dst_val ^ src_val
+                elif op == isa.ALU_LSH:
+                    result = dst_val << (src_val & 63)
+                elif op == isa.ALU_RSH:
+                    result = (dst_val & MASK64) >> (src_val & 63)
+                elif op == isa.ALU_ARSH:
+                    result = _to_signed(dst_val) >> (src_val & 63)
+                elif op == isa.ALU_MOV:
+                    result = src_val
+                elif op == isa.ALU_NEG:
+                    result = -dst_val
+                else:
+                    raise ExecutionError("bad ALU op 0x%02x" % opcode)
+                regs[insn.dst] = result & MASK64
+                pc += 1
+                continue
+            if cls == isa.CLS_JMP:
+                op = opcode & 0xF0
+                if op == isa.JMP_EXIT:
+                    return regs[0]
+                if op == isa.JMP_CALL:
+                    helper = self.helpers.get(insn.imm)
+                    if helper is None:
+                        raise ExecutionError("unknown helper %d" % insn.imm)
+                    regs[0] = helper(self, regs[1], regs[2], regs[3],
+                                     regs[4], regs[5]) & MASK64
+                    pc += 1
+                    continue
+                if op == isa.JMP_JA:
+                    pc += 1 + insn.offset
+                    continue
+                src_val = (
+                    regs[insn.src] if opcode & isa.SRC_REG
+                    else insn.imm & MASK64
+                )
+                dst_val = regs[insn.dst]
+                taken = {
+                    isa.JMP_JEQ: dst_val == src_val,
+                    isa.JMP_JNE: dst_val != src_val,
+                    isa.JMP_JGT: dst_val > src_val,
+                    isa.JMP_JGE: dst_val >= src_val,
+                    isa.JMP_JLT: dst_val < src_val,
+                    isa.JMP_JLE: dst_val <= src_val,
+                    isa.JMP_JSGT: _to_signed(dst_val) > _to_signed(src_val),
+                    isa.JMP_JSGE: _to_signed(dst_val) >= _to_signed(src_val),
+                    isa.JMP_JSLT: _to_signed(dst_val) < _to_signed(src_val),
+                    isa.JMP_JSLE: _to_signed(dst_val) <= _to_signed(src_val),
+                }.get(op)
+                if taken is None:
+                    raise ExecutionError("bad JMP op 0x%02x" % opcode)
+                pc += 1 + (insn.offset if taken else 0)
+                continue
+            if cls == isa.CLS_LDX:
+                width = isa.SIZE_BYTES[opcode & 0x18]
+                regs[insn.dst] = load(regs[insn.src] + insn.offset, width)
+                pc += 1
+                continue
+            if cls == isa.CLS_STX:
+                width = isa.SIZE_BYTES[opcode & 0x18]
+                store(regs[insn.dst] + insn.offset, width, regs[insn.src])
+                pc += 1
+                continue
+            if cls == isa.CLS_ST:
+                width = isa.SIZE_BYTES[opcode & 0x18]
+                store(regs[insn.dst] + insn.offset, width, insn.imm & MASK64)
+                pc += 1
+                continue
+            raise ExecutionError("unsupported opcode 0x%02x" % opcode)

@@ -1,0 +1,48 @@
+"""Discrete-event network simulator substrate.
+
+This package provides the emulated network that replaces the paper's
+Mininet testbed: an event loop, links with bandwidth/latency/drop-tail
+queues, multihomed hosts, routers, and programmable middleboxes.
+
+The simulator is fully deterministic: events scheduled at equal times
+fire in scheduling order, and all randomness flows through a seeded
+``random.Random`` owned by the :class:`Simulator`.
+"""
+
+from repro.net.address import Endpoint, IPAddress
+from repro.net.link import Link, duplex_link
+from repro.net.host import Host, Interface
+from repro.net.packet import Packet
+from repro.net.router import Router
+from repro.net.simulator import Simulator
+from repro.net.middlebox import (
+    Blackhole,
+    Middlebox,
+    NAT,
+    OptionStrippingFirewall,
+    RstInjector,
+    Resegmenter,
+    StatefulFirewall,
+)
+from repro.net.topology import MultipathTopology, build_multipath
+
+__all__ = [
+    "Blackhole",
+    "Endpoint",
+    "Host",
+    "IPAddress",
+    "Interface",
+    "Link",
+    "Middlebox",
+    "MultipathTopology",
+    "NAT",
+    "OptionStrippingFirewall",
+    "Packet",
+    "Resegmenter",
+    "Router",
+    "RstInjector",
+    "Simulator",
+    "StatefulFirewall",
+    "build_multipath",
+    "duplex_link",
+]

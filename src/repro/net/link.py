@@ -1,0 +1,165 @@
+"""Point-to-point links with rate, delay and a drop-tail queue.
+
+A :class:`Link` is unidirectional; :func:`duplex_link` wires a pair.
+The model is the classic store-and-forward pipe: packets serialize at
+``rate`` bits per second (back-to-back packets queue behind the
+transmitter), then propagate for ``delay`` seconds.  The queue is
+drop-tail with a byte capacity, which is what gives TCP its loss signal
+in the congestion experiments.
+
+Middleboxes (see :mod:`repro.net.middlebox`) are attached to links and
+get a chance to drop, mutate, or inject packets between serialization
+and delivery.
+"""
+
+
+class LinkStats:
+    """Counters exported by every link, used by goodput probes."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "dropped_packets", "dropped_bytes")
+
+    def __init__(self):
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+
+class Link:
+    """Unidirectional link.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.net.simulator.Simulator`.
+    rate_bps:
+        Serialization rate in bits per second (``None`` = infinite).
+    delay:
+        One-way propagation delay in seconds.
+    queue_bytes:
+        Drop-tail buffer capacity in bytes (counts queued, not
+        in-flight, packets).  Default sized at 2x the bandwidth-delay
+        product when a rate is given, else unbounded.
+    loss_rate:
+        Independent random drop probability applied per packet,
+        drawn from the simulator RNG.
+    mtu:
+        Maximum packet size accepted; larger packets raise, because the
+        sending TCP stack is responsible for segmentation.
+    """
+
+    def __init__(self, sim, rate_bps=None, delay=0.0, queue_bytes=None,
+                 loss_rate=0.0, mtu=1500, name="", jitter=0.0):
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        #: uniform per-packet extra delay (order-preserving).  Zero by
+        #: default; competition experiments enable it to break the
+        #: drop-tail phase lockout a perfectly deterministic simulator
+        #: otherwise exhibits (ns-2 style randomisation).
+        self.jitter = jitter
+        self._last_arrival = 0.0
+        if queue_bytes is None and rate_bps:
+            bdp = rate_bps / 8.0 * max(delay * 2, 0.002)
+            queue_bytes = max(int(bdp * 2), 16 * mtu)
+        self.queue_bytes = queue_bytes
+        self.loss_rate = loss_rate
+        self.mtu = mtu
+        self.name = name
+        self.stats = LinkStats()
+        self.middleboxes = []
+        self.up = True
+        self._sink = None
+        self._queued_bytes = 0
+        self._busy_until = 0.0
+
+    def connect(self, sink):
+        """Set the receiving side: any callable ``sink(packet)``."""
+        self._sink = sink
+
+    def add_middlebox(self, box):
+        """Attach an on-path middlebox (processed in attachment order)."""
+        self.middleboxes.append(box)
+        box.attach(self)
+
+    def set_up(self, up):
+        """Administratively enable/disable the link (interface hotplug)."""
+        self.up = up
+
+    def send(self, packet):
+        """Entry point for the transmitting node."""
+        if not self.up:
+            self._drop(packet)
+            return
+        size = packet.wire_size()
+        if size > self.mtu + 40:
+            # Allow jumbo IP headroom; transports must respect the MTU.
+            raise ValueError(
+                "packet of %d B exceeds link MTU %d on %s"
+                % (size, self.mtu, self.name or "link")
+            )
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self._drop(packet)
+            return
+        if self.rate_bps is None:
+            self.sim.schedule(self.delay + self._jitter_sample(),
+                              self._deliver, packet)
+            return
+        now = self.sim.now
+        backlog = max(self._busy_until - now, 0.0)
+        queued = backlog * self.rate_bps / 8.0
+        if self.queue_bytes is not None and queued + size > self.queue_bytes:
+            self._drop(packet)
+            return
+        serialization = size * 8.0 / self.rate_bps
+        self._busy_until = max(self._busy_until, now) + serialization
+        arrival = self._busy_until + self.delay + self._jitter_sample()
+        # Jitter must not reorder the FIFO pipe; schedule at an absolute
+        # time (re-deriving it from a delay loses ULPs and can land one
+        # tick before the previous packet).
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        self.sim.at(arrival, self._deliver, packet)
+
+    def _jitter_sample(self):
+        if not self.jitter:
+            return 0.0
+        return self.sim.rng.random() * self.jitter
+
+    def _drop(self, packet):
+        self.stats.dropped_packets += 1
+        self.stats.dropped_bytes += packet.wire_size()
+
+    def _deliver(self, packet):
+        if not self.up:
+            self._drop(packet)
+            return
+        for box in self.middleboxes:
+            packet = box.process(packet)
+            if packet is None:
+                return
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.wire_size()
+        if self._sink is not None:
+            self._sink(packet)
+
+    def inject(self, packet):
+        """Deliver a packet created on-path (used by RST-injecting boxes)."""
+        if self._sink is not None:
+            self.sim.schedule(0.0, self._sink, packet)
+
+
+def duplex_link(sim, a, b, rate_bps=None, delay=0.0, queue_bytes=None,
+                loss_rate=0.0, mtu=1500, name=""):
+    """Create a bidirectional pipe between nodes ``a`` and ``b``.
+
+    Each node must expose ``receive(packet)``.  Returns the
+    ``(a_to_b, b_to_a)`` pair of :class:`Link` objects.
+    """
+    fwd = Link(sim, rate_bps, delay, queue_bytes, loss_rate, mtu,
+               name=name + ">" if name else "")
+    rev = Link(sim, rate_bps, delay, queue_bytes, loss_rate, mtu,
+               name=name + "<" if name else "")
+    fwd.connect(b.receive)
+    rev.connect(a.receive)
+    return fwd, rev

@@ -1,0 +1,62 @@
+"""Network-layer packets.
+
+A :class:`Packet` carries one transport PDU (a TCP segment or a UDP
+datagram) between hosts.  Payloads are real byte strings produced by
+the transport codecs, so middleboxes can parse and mutate them exactly
+as on-path equipment would.
+"""
+
+from repro.net.address import ip_header_size
+
+
+PROTO_TCP = "tcp"
+PROTO_UDP = "udp"
+
+
+class Packet:
+    """One IP packet in flight.
+
+    Parameters
+    ----------
+    src, dst:
+        Source/destination :class:`~repro.net.address.IPAddress`.
+    proto:
+        ``"tcp"`` or ``"udp"``.
+    payload:
+        Transport PDU.  For TCP this is a :class:`repro.tcp.segment.Segment`;
+        for UDP a :class:`repro.baselines.quic.udp.Datagram`-like object.
+        The payload must expose ``wire_size()`` returning its byte length
+        on the wire (headers + data).
+    """
+
+    __slots__ = ("src", "dst", "proto", "payload", "ttl", "meta")
+
+    def __init__(self, src, dst, proto, payload, ttl=64):
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+        self.payload = payload
+        self.ttl = ttl
+        self.meta = {}
+
+    def wire_size(self):
+        """Total bytes on the wire: IP header + transport PDU."""
+        return ip_header_size(self.src.family) + self.payload.wire_size()
+
+    @property
+    def family(self):
+        return self.src.family
+
+    def copy(self):
+        """Shallow copy (payload shared) used by duplicating middleboxes."""
+        pkt = Packet(self.src, self.dst, self.proto, self.payload, self.ttl)
+        pkt.meta = dict(self.meta)
+        return pkt
+
+    def __repr__(self):
+        return "Packet(%s -> %s, %s, %d B)" % (
+            self.src,
+            self.dst,
+            self.proto,
+            self.wire_size(),
+        )

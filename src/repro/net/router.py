@@ -1,0 +1,40 @@
+"""Packet-forwarding routers.
+
+Routers connect links and forward by destination address.  The
+evaluation topologies are small (a client, a server, and one router or
+middlebox per path), so routing is exact-match with per-family
+defaults, populated by the topology builders.
+"""
+
+
+class Router:
+    """Forwards packets between attached links by destination address."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self._routes = {}
+        self._default_routes = {}
+        self.forwarded = 0
+
+    def add_route(self, dst_address, tx_link):
+        """Send packets for ``dst_address`` out of ``tx_link``."""
+        self._routes[dst_address] = tx_link
+
+    def add_default_route(self, family, tx_link):
+        self._default_routes[family] = tx_link
+
+    def receive(self, packet):
+        """Link delivery entry point: decrement TTL and forward."""
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            return
+        link = self._routes.get(packet.dst)
+        if link is None:
+            link = self._default_routes.get(packet.dst.family)
+        if link is not None:
+            self.forwarded += 1
+            link.send(packet)
+
+    def __repr__(self):
+        return "Router(%s)" % self.name

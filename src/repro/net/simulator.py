@@ -1,0 +1,135 @@
+"""Deterministic discrete-event simulator core.
+
+Every other component in the repository (TCP stack, TCPLS sessions,
+MPTCP and QUIC baselines) runs on top of this event loop.  Time is a
+float in seconds.  Events with equal timestamps fire in the order they
+were scheduled, which keeps every experiment reproducible bit-for-bit.
+"""
+
+import heapq
+import itertools
+import random
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` / :meth:`Simulator.at` so the
+    caller can cancel a pending timer (e.g. a retransmission timeout
+    that was satisfied by an ACK).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Single-threaded discrete-event loop with deterministic ordering.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random generator.  All stochastic
+        behaviour (link loss, jitter) must draw from :attr:`rng` so runs
+        are reproducible.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._queue = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past: delay=%r" % delay)
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule into the past: time=%r < now=%r" % (time, self.now)
+            )
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until=None, max_events=None):
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this value.  Events at
+            exactly ``until`` still run.
+        max_events:
+            Safety valve for tests; raise ``RuntimeError`` if more than
+            this many events fire.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fn(*event.args)
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise RuntimeError("simulation exceeded %d events" % max_events)
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, predicate, check_interval=0.01, timeout=600.0):
+        """Run until ``predicate()`` is true or ``timeout`` sim-seconds pass.
+
+        Returns True if the predicate became true, False on timeout.
+        The predicate is evaluated every ``check_interval`` seconds of
+        simulated time, interleaved with normal event processing.
+        """
+        deadline = self.now + timeout
+        satisfied = [False]
+
+        def probe():
+            if predicate():
+                satisfied[0] = True
+                return
+            if self.now < deadline:
+                self.schedule(check_interval, probe)
+
+        probe()
+        while self._queue and not satisfied[0] and self.now <= deadline:
+            self.run(until=min(deadline, self.now + check_interval))
+            if satisfied[0]:
+                break
+        return satisfied[0] or predicate()
+
+    @property
+    def pending_events(self):
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)

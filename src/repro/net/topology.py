@@ -1,0 +1,117 @@
+"""Topology builders for the evaluation scenarios.
+
+All of the paper's emulated experiments (Secs. 5.3-5.6) run on the same
+shape of network: a dual-stack (or n-path) client and server joined by
+fully disjoint paths, each path with its own bandwidth and latency.
+:func:`build_multipath` constructs that network and pre-attaches a
+:class:`~repro.net.middlebox.Blackhole` on every path so outages can be
+scripted directly.
+"""
+
+from repro.net.address import IPAddress
+from repro.net.host import Host
+from repro.net.link import duplex_link
+from repro.net.middlebox import Blackhole
+
+
+class PathInfo:
+    """One disjoint path between the client and server."""
+
+    __slots__ = (
+        "index",
+        "family",
+        "client_addr",
+        "server_addr",
+        "c2s",
+        "s2c",
+        "blackhole_c2s",
+        "blackhole_s2c",
+    )
+
+    def __init__(self, index, family, client_addr, server_addr, c2s, s2c,
+                 blackhole_c2s, blackhole_s2c):
+        self.index = index
+        self.family = family
+        self.client_addr = client_addr
+        self.server_addr = server_addr
+        self.c2s = c2s
+        self.s2c = s2c
+        self.blackhole_c2s = blackhole_c2s
+        self.blackhole_s2c = blackhole_s2c
+
+    def blackhole(self, sim, start, end=None):
+        """Blackhole both directions during ``[start, end)``."""
+        self.blackhole_c2s.schedule_outage(sim, start, end)
+        self.blackhole_s2c.schedule_outage(sim, start, end)
+
+    def set_blackholed(self, active):
+        """Immediately (de)activate the blackhole in both directions."""
+        for hole in (self.blackhole_c2s, self.blackhole_s2c):
+            if active:
+                hole.activate()
+            else:
+                hole.deactivate()
+
+
+class MultipathTopology:
+    """A client and server joined by ``n`` disjoint paths."""
+
+    def __init__(self, sim, client, server, paths):
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.paths = paths
+
+    def path(self, index):
+        return self.paths[index]
+
+    def client_endpoint_pairs(self):
+        """(client_addr, server_addr) per path, in path order."""
+        return [(p.client_addr, p.server_addr) for p in self.paths]
+
+
+def build_multipath(sim, n_paths=2, rate_bps=25_000_000, delay=0.010,
+                    mtu=1500, queue_bytes=None, families=None,
+                    rates=None, delays=None):
+    """Build the paper's Mininet-style disjoint-path network.
+
+    Defaults match Sec. 5: each path offers 25 Mbps with 10 ms one-way
+    latency.  Path families alternate IPv4 / IPv6 like the paper's
+    dual-stack hosts unless ``families`` overrides them.
+
+    Parameters
+    ----------
+    rates, delays:
+        Optional per-path overrides (lists of length ``n_paths``).
+
+    Returns a :class:`MultipathTopology`.
+    """
+    client = Host(sim, "client")
+    server = Host(sim, "server")
+    paths = []
+    for i in range(n_paths):
+        family = families[i] if families else (4 if i % 2 == 0 else 6)
+        if family == 4:
+            c_addr = IPAddress("10.%d.0.1" % i)
+            s_addr = IPAddress("10.%d.0.2" % i)
+        else:
+            c_addr = IPAddress("fd%02x::1" % i)
+            s_addr = IPAddress("fd%02x::2" % i)
+        rate = rates[i] if rates else rate_bps
+        dly = delays[i] if delays else delay
+        c2s, s2c = duplex_link(
+            sim, client, server, rate_bps=rate, delay=dly,
+            queue_bytes=queue_bytes, mtu=mtu, name="path%d" % i,
+        )
+        c_iface = client.add_interface("c%d" % i, c_addr, tx_link=c2s)
+        s_iface = server.add_interface("s%d" % i, s_addr, tx_link=s2c)
+        client.add_route(s_addr, c_iface)
+        server.add_route(c_addr, s_iface)
+        hole_c2s = Blackhole(name="bh-c2s-%d" % i)
+        hole_s2c = Blackhole(name="bh-s2c-%d" % i)
+        c2s.add_middlebox(hole_c2s)
+        s2c.add_middlebox(hole_s2c)
+        paths.append(
+            PathInfo(i, family, c_addr, s_addr, c2s, s2c, hole_c2s, hole_s2c)
+        )
+    return MultipathTopology(sim, client, server, paths)

@@ -1,0 +1,31 @@
+"""CPU/NIC cost model for the raw-performance evaluation (Fig. 7).
+
+The paper's Sec. 5.1 testbed (Xeon E5-2630 v3-class cores, 40 Gbps
+NICs, single-threaded endpoints) is replaced by a mechanistic model:
+each stack is described by *where its bytes spend CPU time* -- AEAD
+per byte, syscalls per batch, kernel per-packet work, ACK processing,
+segmentation offload -- and the sustainable throughput is the inverse
+of the busiest side's per-byte time, capped by the link.  Orderings and
+ratios between stacks are emergent from these architectural factors;
+only the primitive costs are calibrated (see DESIGN.md).
+"""
+
+from repro.perf.costmodel import (
+    CpuProfile,
+    QuicSenderModel,
+    TcplsVariant,
+    TlsTcpModel,
+    QuicModel,
+    TcplsModel,
+    solve_throughput_gbps,
+)
+
+__all__ = [
+    "CpuProfile",
+    "QuicModel",
+    "QuicSenderModel",
+    "TcplsModel",
+    "TcplsVariant",
+    "TlsTcpModel",
+    "solve_throughput_gbps",
+]

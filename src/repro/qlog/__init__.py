@@ -1,0 +1,11 @@
+"""qlog-style structured event tracing.
+
+The paper's artefact includes QLOG/QVIS support; this module writes the
+same shape of trace: a JSON document with a stream of timestamped,
+categorised events, suitable for offline inspection of a simulated
+session (records sent/received, failovers, joins, congestion events).
+"""
+
+from repro.qlog.writer import QlogTracer, attach_session_tracer
+
+__all__ = ["QlogTracer", "attach_session_tracer"]

@@ -1,0 +1,73 @@
+"""qlog trace writer."""
+
+import json
+
+
+class QlogTracer:
+    """Collects events and serialises them qlog-style."""
+
+    def __init__(self, sim, title="tcpls-session", vantage_point="client"):
+        self.sim = sim
+        self.title = title
+        self.vantage_point = vantage_point
+        self.events = []
+
+    def log(self, category, event, data=None):
+        """Record one event at the current simulated time."""
+        self.events.append({
+            "time": round(self.sim.now * 1000.0, 6),  # qlog uses ms
+            "category": category,
+            "event": event,
+            "data": data or {},
+        })
+
+    def to_dict(self):
+        return {
+            "qlog_version": "0.4",
+            "title": self.title,
+            "traces": [{
+                "vantage_point": {"type": self.vantage_point},
+                "events": self.events,
+            }],
+        }
+
+    def dumps(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def dump(self, path, indent=2):
+        with open(path, "w") as fh:
+            fh.write(self.dumps(indent=indent))
+
+
+def attach_session_tracer(session, tracer, trace_records=False):
+    """Wire a tracer into a TCPLS session's callback points.
+
+    Existing application callbacks are preserved (the tracer chains
+    them).  With ``trace_records=True`` every record sent/received is
+    logged too (one event per record -- sized for short sessions).
+    """
+    if trace_records:
+        session.qlog = tracer
+    def chain(attr, category, event, datafn):
+        previous = getattr(session, attr)
+
+        def wrapper(*args):
+            tracer.log(category, event, datafn(*args))
+            if previous is not None:
+                previous(*args)
+
+        setattr(session, attr, wrapper)
+
+    chain("on_ready", "connectivity", "session_ready", lambda s: {})
+    chain("on_conn_established", "connectivity", "connection_established",
+          lambda c: {"conn": c.index, "local": str(c.tcp.local),
+                     "remote": str(c.tcp.remote)})
+    chain("on_conn_failed", "connectivity", "connection_failed",
+          lambda c, r: {"conn": c.index, "reason": r})
+    chain("on_failover", "recovery", "failover",
+          lambda o, n: {"from": o.index, "to": n.index})
+    chain("on_join", "connectivity", "connection_joined",
+          lambda c: {"conn": c.index})
+    chain("on_ebpf_attached", "extensibility", "ebpf_cc_attached",
+          lambda c, p: {"conn": c.index, "program": p})
+    return tracer

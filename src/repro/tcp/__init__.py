@@ -1,0 +1,56 @@
+"""User-space TCP stack running over :mod:`repro.net`.
+
+This substrate replaces the Linux kernel TCP stack of the paper's
+testbed.  It implements the full connection lifecycle (three-way
+handshake with optional TCP Fast Open, bidirectional data transfer,
+FIN/RST teardown), loss recovery (RTO per RFC 6298 with exponential
+backoff, fast retransmit on three duplicate ACKs), flow control with an
+advertised window, wire-codable TCP options, and pluggable congestion
+control (Reno, CUBIC, Vegas, or an eBPF program via
+:mod:`repro.ebpf`).
+
+TCPLS consumes this stack purely through its bytestream socket API plus
+``tcp_info()`` statistics -- the same contract it has with the kernel.
+"""
+
+from repro.tcp.segment import Segment
+from repro.tcp.options import (
+    MssOption,
+    SackPermittedOption,
+    TcpOption,
+    TimestampOption,
+    UnknownOption,
+    UserTimeoutOption,
+    WindowScaleOption,
+    decode_options,
+    encode_options,
+)
+from repro.tcp.connection import TcpConnection
+from repro.tcp.stack import TcpStack
+from repro.tcp.congestion import (
+    CongestionControl,
+    Cubic,
+    NewReno,
+    Vegas,
+    make_congestion_control,
+)
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "MssOption",
+    "NewReno",
+    "SackPermittedOption",
+    "Segment",
+    "TcpConnection",
+    "TcpOption",
+    "TcpStack",
+    "TimestampOption",
+    "UnknownOption",
+    "UserTimeoutOption",
+    "Vegas",
+    "WindowScaleOption",
+    "decode_options",
+    "encode_options",
+    "make_congestion_control",
+]

@@ -1,0 +1,156 @@
+"""Send and receive buffers for the bytestream.
+
+The send buffer retains unacknowledged bytes addressed by absolute
+sequence number; the receive buffer reassembles in-order data from
+possibly out-of-order, overlapping segments and exposes a read queue
+with back-pressure (its free space is the advertised window).
+"""
+
+
+class SendBuffer:
+    """Bytes the application queued, addressed by sequence number.
+
+    ``base_seq`` tracks the lowest unacknowledged byte; data below it
+    has been freed.  ``next_new`` is where the next app write lands.
+    """
+
+    def __init__(self, base_seq, capacity=None):
+        self.base_seq = base_seq
+        self.capacity = capacity
+        self._chunks = bytearray()
+
+    def __len__(self):
+        return len(self._chunks)
+
+    @property
+    def end_seq(self):
+        return self.base_seq + len(self._chunks)
+
+    def free_space(self):
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - len(self._chunks)
+
+    def write(self, data):
+        """Append application data; returns bytes accepted."""
+        accept = len(data)
+        if self.capacity is not None:
+            accept = min(accept, max(self.capacity - len(self._chunks), 0))
+        self._chunks += data[:accept]
+        return accept
+
+    def peek(self, seq, length):
+        """Read ``length`` bytes starting at absolute ``seq``."""
+        if seq < self.base_seq:
+            raise ValueError("peek below base_seq (already acked)")
+        offset = seq - self.base_seq
+        return bytes(self._chunks[offset:offset + length])
+
+    def ack_to(self, seq):
+        """Release everything below absolute ``seq``; returns bytes freed."""
+        if seq <= self.base_seq:
+            return 0
+        freed = min(seq - self.base_seq, len(self._chunks))
+        del self._chunks[:freed]
+        self.base_seq += freed
+        return freed
+
+
+class ReceiveBuffer:
+    """Reassembles the incoming bytestream.
+
+    Out-of-order data is kept in a segment map keyed by sequence number;
+    when the gap fills, contiguous bytes move to the readable queue.
+    ``capacity`` bounds readable + buffered out-of-order data and is the
+    basis of the advertised receive window.
+    """
+
+    def __init__(self, rcv_nxt, capacity=1 << 20):
+        self.rcv_nxt = rcv_nxt
+        self.capacity = capacity
+        self._readable = bytearray()
+        self._ooo = {}
+
+    def window(self):
+        """Advertised window: free space."""
+        used = len(self._readable) + sum(len(d) for d in self._ooo.values())
+        return max(self.capacity - used, 0)
+
+    def readable_bytes(self):
+        return len(self._readable)
+
+    def offer(self, seq, data):
+        """Accept segment payload at absolute ``seq``.
+
+        Returns the number of *new* in-order bytes made readable.
+        Duplicate and already-received data is trimmed; data beyond the
+        window is clamped (a simplification: real stacks also trim).
+        """
+        if not data:
+            return 0
+        end = seq + len(data)
+        if end <= self.rcv_nxt:
+            return 0  # entirely old
+        if seq < self.rcv_nxt:
+            data = data[self.rcv_nxt - seq:]
+            seq = self.rcv_nxt
+        limit = self.rcv_nxt + self.window() + len(self._readable)
+        if seq >= limit + self.capacity:
+            return 0  # absurdly far ahead; drop
+        if seq > self.rcv_nxt:
+            existing = self._ooo.get(seq)
+            if existing is None or len(existing) < len(data):
+                self._ooo[seq] = data
+            return 0
+        # In-order: deliver, then drain any now-contiguous segments.
+        delivered = len(data)
+        self._readable += data
+        self.rcv_nxt = end
+        while True:
+            nxt = self._find_contiguous()
+            if nxt is None:
+                break
+            seq2, data2 = nxt
+            del self._ooo[seq2]
+            if seq2 + len(data2) <= self.rcv_nxt:
+                continue
+            if seq2 < self.rcv_nxt:
+                data2 = data2[self.rcv_nxt - seq2:]
+            self._readable += data2
+            delivered += len(data2)
+            self.rcv_nxt += len(data2)
+        return delivered
+
+    def _find_contiguous(self):
+        for seq, data in self._ooo.items():
+            if seq <= self.rcv_nxt:
+                return seq, data
+        return None
+
+    def read(self, n=None):
+        """Consume up to ``n`` readable bytes (all if None)."""
+        if n is None or n >= len(self._readable):
+            data = bytes(self._readable)
+            self._readable.clear()
+            return data
+        data = bytes(self._readable[:n])
+        del self._readable[:n]
+        return data
+
+    def has_gap(self):
+        return bool(self._ooo)
+
+    def sack_blocks(self, limit=3):
+        """Merged out-of-order ranges for SACK generation (RFC 2018)."""
+        if not self._ooo:
+            return []
+        spans = sorted((seq, seq + len(d)) for seq, d in self._ooo.items())
+        merged = [list(spans[0])]
+        for start, end in spans[1:]:
+            if start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        # Most recently useful (highest) blocks first, like real stacks.
+        merged.sort(key=lambda b: b[1], reverse=True)
+        return [tuple(b) for b in merged[:limit]]

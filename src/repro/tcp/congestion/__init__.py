@@ -1,0 +1,48 @@
+"""Pluggable congestion control.
+
+The interface mirrors the hook set the Linux kernel exposes to eBPF
+``struct_ops`` congestion controllers (Sec. 4.4 of the paper): an init
+hook, per-ACK and per-loss hooks, and a queryable congestion window.
+Native implementations are NewReno, CUBIC and Vegas; an adapter in
+:mod:`repro.ebpf.cc_hooks` runs a verified eBPF program behind the same
+interface, which is what the Fig. 12 experiment attaches mid-session.
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+from repro.tcp.congestion.reno import NewReno
+from repro.tcp.congestion.cubic import Cubic
+from repro.tcp.congestion.vegas import Vegas
+
+_REGISTRY = {
+    "reno": NewReno,
+    "newreno": NewReno,
+    "cubic": Cubic,
+    "vegas": Vegas,
+}
+
+
+def register_congestion_control(name, factory):
+    """Register a congestion controller factory under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def make_congestion_control(name, mss):
+    """Instantiate a registered congestion controller by name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            "unknown congestion control %r (have: %s)"
+            % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
+    return factory(mss)
+
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "NewReno",
+    "Vegas",
+    "make_congestion_control",
+    "register_congestion_control",
+]

@@ -1,0 +1,68 @@
+"""Congestion control hook interface."""
+
+
+class CongestionControl:
+    """Base congestion controller.
+
+    State is in bytes.  Connections call the ``on_*`` hooks; schedulers
+    and ``tcp_info()`` read :attr:`cwnd` and :attr:`ssthresh`.
+    """
+
+    #: human-readable algorithm name, overridden by subclasses
+    name = "base"
+
+    INITIAL_WINDOW_SEGMENTS = 10  # RFC 6928
+    MIN_WINDOW_SEGMENTS = 2
+
+    def __init__(self, mss):
+        self.mss = mss
+        self.cwnd = self.INITIAL_WINDOW_SEGMENTS * mss
+        self.ssthresh = float("inf")
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_ack(self, acked_bytes, rtt, now, in_flight):
+        """New data was cumulatively acknowledged.
+
+        Parameters
+        ----------
+        acked_bytes:
+            Bytes newly acknowledged by this ACK.
+        rtt:
+            The RTT sample for this ACK, or None if unavailable.
+        now:
+            Simulated time (seconds).
+        in_flight:
+            Bytes outstanding before this ACK was processed.
+        """
+
+    def on_duplicate_ack(self, count, now):
+        """A duplicate ACK arrived (``count`` consecutive so far)."""
+
+    def on_loss(self, now):
+        """Fast-retransmit-detected loss (halve, do not collapse)."""
+
+    def on_rto(self, now):
+        """Retransmission timeout: collapse to the minimum window."""
+
+    def on_exit_recovery(self, now):
+        """Recovery completed (cumulative ACK covered the loss point)."""
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def min_cwnd(self):
+        return self.MIN_WINDOW_SEGMENTS * self.mss
+
+    def in_slow_start(self):
+        return self.cwnd < self.ssthresh
+
+    def snapshot(self):
+        """Stats for ``tcp_info()``."""
+        ssthresh = self.ssthresh
+        return {
+            "ca_name": self.name,
+            "cwnd_bytes": int(self.cwnd),
+            "ssthresh_bytes": None if ssthresh == float("inf") else int(ssthresh),
+            "slow_start": self.in_slow_start(),
+        }

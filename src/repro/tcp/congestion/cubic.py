@@ -1,0 +1,83 @@
+"""CUBIC congestion control (RFC 8312).
+
+The window grows as a cubic function of time since the last congestion
+event, anchored at the window size where the loss happened (W_max).
+This is the default controller in Linux and the one the paper's server
+ships as eBPF bytecode in Fig. 12; :mod:`repro.ebpf.programs` contains
+the bytecode twin of this implementation.
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class Cubic(CongestionControl):
+    name = "cubic"
+
+    C = 0.4          # scaling constant (RFC 8312 section 5)
+    BETA = 0.7       # multiplicative decrease factor
+
+    #: HyStart: leave slow start when the RTT inflates by this factor.
+    HYSTART_RTT_FACTOR = 1.25
+    HYSTART_MIN_SEGMENTS = 16
+
+    def __init__(self, mss):
+        super().__init__(mss)
+        self.w_max = 0.0
+        self.epoch_start = None
+        self.k = 0.0
+        self._tcp_cwnd = 0.0  # TCP-friendly region estimate
+        self._min_rtt = float("inf")
+
+    def _reset_epoch(self, now):
+        self.epoch_start = now
+        if self.cwnd < self.w_max:
+            self.k = ((self.w_max - self.cwnd) / (self.C * self.mss)) ** (1.0 / 3.0)
+        else:
+            self.k = 0.0
+            self.w_max = self.cwnd
+        self._tcp_cwnd = self.cwnd
+
+    def on_ack(self, acked_bytes, rtt, now, in_flight):
+        if rtt:
+            self._min_rtt = min(self._min_rtt, rtt)
+        if self.in_slow_start():
+            self.cwnd += acked_bytes
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+            # HyStart delay heuristic: queue build-up means the path is
+            # full; stop doubling before the drop-tail burst loss.
+            if (rtt and self._min_rtt != float("inf")
+                    and rtt > self._min_rtt * self.HYSTART_RTT_FACTOR
+                    and self.cwnd >= self.HYSTART_MIN_SEGMENTS * self.mss):
+                self.ssthresh = self.cwnd
+            return
+        if self.epoch_start is None:
+            self._reset_epoch(now)
+        t = now - self.epoch_start
+        target = self.w_max + self.C * self.mss * (t - self.k) ** 3
+        # TCP-friendly region (estimate standard AIMD growth).
+        if rtt:
+            self._tcp_cwnd += (3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)) * (
+                acked_bytes / self.cwnd
+            ) * self.mss
+        target = max(target, self._tcp_cwnd)
+        # Linux-style ACK counting: one MSS every ``cnt`` acked segments,
+        # with cnt clamped >= 2 so the window grows at most 1.5x per RTT.
+        cwnd_seg = self.cwnd / self.mss
+        if target > self.cwnd:
+            cnt = max(self.cwnd / (target - self.cwnd), 2.0)
+        else:
+            cnt = 100.0 * cwnd_seg
+        self.cwnd += (acked_bytes / self.mss) * self.mss / cnt
+
+    def on_loss(self, now):
+        self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, self.min_cwnd)
+        self.cwnd = self.ssthresh
+        self.epoch_start = None
+
+    def on_rto(self, now):
+        self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, self.min_cwnd)
+        self.cwnd = self.mss
+        self.epoch_start = None

@@ -1,0 +1,35 @@
+"""NewReno congestion control (RFC 5681 / 6582)."""
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class NewReno(CongestionControl):
+    """Classic AIMD: slow start, congestion avoidance, halving on loss."""
+
+    name = "reno"
+
+    def __init__(self, mss):
+        super().__init__(mss)
+        self._avoidance_acc = 0
+
+    def on_ack(self, acked_bytes, rtt, now, in_flight):
+        if self.in_slow_start():
+            self.cwnd += acked_bytes
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+        else:
+            # Byte-counting congestion avoidance: +1 MSS per cwnd acked.
+            self._avoidance_acc += acked_bytes
+            if self._avoidance_acc >= self.cwnd:
+                self._avoidance_acc -= self.cwnd
+                self.cwnd += self.mss
+
+    def on_loss(self, now):
+        self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = self.ssthresh
+        self._avoidance_acc = 0
+
+    def on_rto(self, now):
+        self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = self.mss
+        self._avoidance_acc = 0

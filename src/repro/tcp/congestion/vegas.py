@@ -1,0 +1,63 @@
+"""TCP Vegas congestion control (Brakmo et al., 1994).
+
+Delay-based: Vegas compares the expected throughput (cwnd / base_rtt)
+with the actual throughput and backs off before losses occur.  Against
+loss-based flows like CUBIC it is famously timid -- which is exactly
+the unfairness Fig. 12 shows before the server ships CUBIC bytecode to
+the Vegas session.
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class Vegas(CongestionControl):
+    name = "vegas"
+
+    ALPHA = 2  # segments of queue occupancy tolerated (lower bound)
+    BETA = 4   # upper bound
+    GAMMA = 1  # slow-start threshold on queue build-up
+
+    def __init__(self, mss):
+        super().__init__(mss)
+        self.base_rtt = float("inf")
+        self._min_rtt_this_rtt = float("inf")
+        self._cwnd_at_rtt_start = self.cwnd
+        self._next_adjust = 0.0
+
+    def on_ack(self, acked_bytes, rtt, now, in_flight):
+        if rtt is not None:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self._min_rtt_this_rtt = min(self._min_rtt_this_rtt, rtt)
+        # Exponential growth happens per ACK while in slow start; the
+        # Vegas estimator below only runs once per RTT.
+        if self.in_slow_start():
+            self.cwnd += acked_bytes
+        if now < self._next_adjust:
+            return
+        rtt_sample = self._min_rtt_this_rtt
+        if rtt_sample == float("inf") or self.base_rtt == float("inf"):
+            return
+        # Once per RTT: compare expected vs actual rate in segments.
+        expected = self.cwnd / self.base_rtt
+        actual = self.cwnd / rtt_sample
+        diff_segments = (expected - actual) * self.base_rtt / self.mss
+        if self.in_slow_start():
+            if diff_segments > self.GAMMA:
+                # Leave slow start before the queue builds.
+                self.ssthresh = self.cwnd
+                self.cwnd = max(self.cwnd - self.mss, self.min_cwnd)
+        else:
+            if diff_segments < self.ALPHA:
+                self.cwnd += self.mss
+            elif diff_segments > self.BETA:
+                self.cwnd = max(self.cwnd - self.mss, self.min_cwnd)
+        self._min_rtt_this_rtt = float("inf")
+        self._next_adjust = now + rtt_sample
+
+    def on_loss(self, now):
+        self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = max(self.cwnd * 3 / 4.0, self.min_cwnd)
+
+    def on_rto(self, now):
+        self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = self.mss

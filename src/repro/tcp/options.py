@@ -1,0 +1,273 @@
+"""TCP options with real wire encoding.
+
+Options are encoded to/decoded from bytes exactly as on the wire so the
+option-stripping and resegmenting middleboxes interact with them the
+way deployed equipment does.  The catalogue covers the options the
+paper discusses: MSS, window scale, SACK-permitted, timestamps, the
+User Timeout option (RFC 5482, which TCPLS re-conveys inside encrypted
+records), TCP Fast Open (RFC 7413), and an experimental option
+(RFC 6994) used to demonstrate middlebox interference.
+"""
+
+import struct
+
+OPT_EOL = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3
+OPT_SACK_PERMITTED = 4
+OPT_SACK = 5
+OPT_TIMESTAMP = 8
+OPT_USER_TIMEOUT = 28
+OPT_MPTCP = 30
+OPT_FAST_OPEN = 34
+OPT_EXPERIMENTAL = 254
+
+#: TCP options area is limited to 40 bytes -- the constraint motivating
+#: the paper (Sec. 3: "the TCP header size is a constraint").
+MAX_OPTIONS_BYTES = 40
+
+
+class TcpOption:
+    """Base class.  Subclasses define ``kind`` and a body codec."""
+
+    kind = None
+
+    def body(self):
+        """Option body bytes (excluding kind/length)."""
+        raise NotImplementedError
+
+    def encode(self):
+        body = self.body()
+        return bytes([self.kind, 2 + len(body)]) + body
+
+    def wire_size(self):
+        return 2 + len(self.body())
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TcpOption)
+            and self.kind == other.kind
+            and self.body() == other.body()
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.body()))
+
+    def __repr__(self):
+        return "%s(kind=%d, body=%r)" % (
+            type(self).__name__, self.kind, self.body()
+        )
+
+
+class MssOption(TcpOption):
+    """Maximum Segment Size, exchanged on SYN."""
+
+    kind = OPT_MSS
+
+    def __init__(self, mss):
+        self.mss = mss
+
+    def body(self):
+        return struct.pack("!H", self.mss)
+
+    @classmethod
+    def decode(cls, body):
+        return cls(struct.unpack("!H", body)[0])
+
+
+class WindowScaleOption(TcpOption):
+    kind = OPT_WSCALE
+
+    def __init__(self, shift):
+        self.shift = shift
+
+    def body(self):
+        return bytes([self.shift])
+
+    @classmethod
+    def decode(cls, body):
+        return cls(body[0])
+
+
+class SackPermittedOption(TcpOption):
+    kind = OPT_SACK_PERMITTED
+
+    def body(self):
+        return b""
+
+    @classmethod
+    def decode(cls, body):
+        return cls()
+
+
+class SackOption(TcpOption):
+    """Selective acknowledgment blocks (RFC 2018)."""
+
+    kind = OPT_SACK
+
+    def __init__(self, blocks):
+        self.blocks = tuple((int(a), int(b)) for a, b in blocks)
+
+    def body(self):
+        return b"".join(
+            struct.pack("!II", a & 0xFFFFFFFF, b & 0xFFFFFFFF)
+            for a, b in self.blocks
+        )
+
+    @classmethod
+    def decode(cls, body):
+        blocks = []
+        for i in range(0, len(body), 8):
+            blocks.append(struct.unpack("!II", body[i:i + 8]))
+        return cls(blocks)
+
+
+class TimestampOption(TcpOption):
+    kind = OPT_TIMESTAMP
+
+    def __init__(self, ts_val, ts_ecr):
+        self.ts_val = ts_val
+        self.ts_ecr = ts_ecr
+
+    def body(self):
+        return struct.pack("!II", self.ts_val & 0xFFFFFFFF,
+                           self.ts_ecr & 0xFFFFFFFF)
+
+    @classmethod
+    def decode(cls, body):
+        val, ecr = struct.unpack("!II", body)
+        return cls(val, ecr)
+
+
+class UserTimeoutOption(TcpOption):
+    """RFC 5482 User Timeout: granularity bit + 15-bit value.
+
+    The paper ships this option *inside encrypted TCPLS records* so
+    middleboxes cannot strip it; the wire form here exists to show what
+    happens when it is sent in the clear instead (the option-stripping
+    firewall removes it).
+    """
+
+    kind = OPT_USER_TIMEOUT
+
+    def __init__(self, timeout_seconds, granularity_minutes=False):
+        self.timeout_seconds = timeout_seconds
+        self.granularity_minutes = granularity_minutes
+
+    def body(self):
+        value = int(self.timeout_seconds // 60 if self.granularity_minutes
+                    else self.timeout_seconds)
+        word = (0x8000 if self.granularity_minutes else 0) | (value & 0x7FFF)
+        return struct.pack("!H", word)
+
+    @classmethod
+    def decode(cls, body):
+        (word,) = struct.unpack("!H", body)
+        minutes = bool(word & 0x8000)
+        value = word & 0x7FFF
+        return cls(value * 60 if minutes else value, minutes)
+
+
+class FastOpenOption(TcpOption):
+    """RFC 7413 TCP Fast Open cookie (empty body = cookie request)."""
+
+    kind = OPT_FAST_OPEN
+
+    def __init__(self, cookie=b""):
+        self.cookie = cookie
+
+    def body(self):
+        return self.cookie
+
+    @classmethod
+    def decode(cls, body):
+        return cls(body)
+
+
+class ExperimentalOption(TcpOption):
+    """RFC 6994 shared experimental option with a 16-bit ExID."""
+
+    kind = OPT_EXPERIMENTAL
+
+    def __init__(self, exid, data=b""):
+        self.exid = exid
+        self.data = data
+
+    def body(self):
+        return struct.pack("!H", self.exid) + self.data
+
+    @classmethod
+    def decode(cls, body):
+        (exid,) = struct.unpack("!H", body[:2])
+        return cls(exid, body[2:])
+
+
+class UnknownOption(TcpOption):
+    """Catch-all for kinds without a dedicated codec."""
+
+    def __init__(self, kind, data=b""):
+        self.kind = kind
+        self.data = data
+
+    def body(self):
+        return self.data
+
+
+_DECODERS = {
+    OPT_MSS: MssOption.decode,
+    OPT_WSCALE: WindowScaleOption.decode,
+    OPT_SACK_PERMITTED: SackPermittedOption.decode,
+    OPT_SACK: SackOption.decode,
+    OPT_TIMESTAMP: TimestampOption.decode,
+    OPT_USER_TIMEOUT: UserTimeoutOption.decode,
+    OPT_FAST_OPEN: FastOpenOption.decode,
+    OPT_EXPERIMENTAL: ExperimentalOption.decode,
+}
+
+
+def encode_options(options):
+    """Encode options, NOP-padding to a 4-byte boundary.
+
+    Raises ``ValueError`` when the encoding exceeds the 40-byte TCP
+    options area -- the hard limit the paper escapes by moving options
+    into TLS records.
+    """
+    raw = b"".join(o.encode() for o in options)
+    pad = (-len(raw)) % 4
+    raw += bytes([OPT_NOP]) * pad
+    if len(raw) > MAX_OPTIONS_BYTES:
+        raise ValueError(
+            "TCP options occupy %d bytes; the header allows only %d"
+            % (len(raw), MAX_OPTIONS_BYTES)
+        )
+    return raw
+
+
+def decode_options(raw):
+    """Decode an options area back into option objects (NOP/EOL skipped)."""
+    options = []
+    i = 0
+    while i < len(raw):
+        kind = raw[i]
+        if kind == OPT_EOL:
+            break
+        if kind == OPT_NOP:
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise ValueError("truncated TCP option")
+        length = raw[i + 1]
+        if length < 2 or i + length > len(raw):
+            raise ValueError("malformed TCP option length")
+        body = raw[i + 2:i + length]
+        decoder = _DECODERS.get(kind)
+        if decoder is not None:
+            try:
+                options.append(decoder(body))
+            except (struct.error, IndexError) as exc:
+                raise ValueError("malformed option kind %d" % kind) from exc
+        else:
+            options.append(UnknownOption(kind, body))
+        i += length
+    return options

@@ -1,0 +1,134 @@
+"""Sorted, merged half-open integer ranges.
+
+Used for the SACK scoreboard (sacked / lost / retransmitted sequence
+ranges, RFC 6675) and reused by the TCPLS failover machinery to track
+acknowledged records.  Ranges are half-open ``[start, end)``.
+"""
+
+import bisect
+
+
+class RangeSet:
+    """A set of non-overlapping, sorted, merged [start, end) ranges."""
+
+    def __init__(self, ranges=()):
+        self._ranges = []
+        for start, end in ranges:
+            self.add(start, end)
+
+    def __bool__(self):
+        return bool(self._ranges)
+
+    def __len__(self):
+        return len(self._ranges)
+
+    def __iter__(self):
+        return iter(tuple(r) for r in self._ranges)
+
+    def __eq__(self, other):
+        if isinstance(other, RangeSet):
+            return self._ranges == other._ranges
+        return NotImplemented
+
+    def __repr__(self):
+        return "RangeSet(%r)" % (self._ranges,)
+
+    def clear(self):
+        self._ranges = []
+
+    @property
+    def total(self):
+        """Total integers covered."""
+        return sum(e - s for s, e in self._ranges)
+
+    @property
+    def min(self):
+        return self._ranges[0][0] if self._ranges else None
+
+    @property
+    def max(self):
+        return self._ranges[-1][1] if self._ranges else None
+
+    def add(self, start, end):
+        """Insert [start, end), merging with neighbours."""
+        if end <= start:
+            return
+        i = bisect.bisect_left(self._ranges, [start, end])
+        # Merge with the predecessor if it touches.
+        if i > 0 and self._ranges[i - 1][1] >= start:
+            i -= 1
+            start = min(start, self._ranges[i][0])
+            end = max(end, self._ranges[i][1])
+            del self._ranges[i]
+        # Swallow successors that overlap.
+        while i < len(self._ranges) and self._ranges[i][0] <= end:
+            end = max(end, self._ranges[i][1])
+            del self._ranges[i]
+        self._ranges.insert(i, [start, end])
+
+    def subtract(self, start, end):
+        """Remove [start, end) from the set."""
+        if end <= start or not self._ranges:
+            return
+        out = []
+        for s, e in self._ranges:
+            if e <= start or s >= end:
+                out.append([s, e])
+                continue
+            if s < start:
+                out.append([s, start])
+            if e > end:
+                out.append([end, e])
+        self._ranges = out
+
+    def trim_below(self, cutoff):
+        """Remove everything < cutoff."""
+        if self._ranges:
+            self.subtract(self._ranges[0][0], cutoff)
+
+    def contains(self, point):
+        i = bisect.bisect_right(self._ranges, [point, float("inf")])
+        if i > 0:
+            s, e = self._ranges[i - 1]
+            if s <= point < e:
+                return True
+        return False
+
+    def covers(self, start, end):
+        """True if [start, end) is entirely inside one range."""
+        if end <= start:
+            return True
+        i = bisect.bisect_right(self._ranges, [start, float("inf")])
+        if i > 0:
+            s, e = self._ranges[i - 1]
+            return s <= start and end <= e
+        return False
+
+    def first_range_at_or_above(self, point):
+        """First (start, end) with end > point, clamped to start >= point."""
+        for s, e in self._ranges:
+            if e > point:
+                return (max(s, point), e)
+        return None
+
+    def complement_within(self, start, end):
+        """Gaps of this set inside [start, end), as a new RangeSet."""
+        gaps = RangeSet()
+        cursor = start
+        for s, e in self._ranges:
+            if e <= start:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                gaps.add(cursor, min(s, end))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+        if cursor < end:
+            gaps.add(cursor, end)
+        return gaps
+
+    def union_update(self, other):
+        for s, e in other:
+            self.add(s, e)

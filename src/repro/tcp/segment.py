@@ -1,0 +1,99 @@
+"""TCP segments.
+
+Segments are value objects: middleboxes produce modified copies via
+:meth:`Segment.replace` rather than mutating in place, so a packet
+duplicated on-path never aliases another packet's header.
+"""
+
+from repro.tcp.options import encode_options
+
+TCP_HEADER_BYTES = 20
+
+VALID_FLAGS = frozenset({"SYN", "ACK", "FIN", "RST", "PSH", "URG"})
+
+
+class Segment:
+    """One TCP segment.
+
+    ``flags`` is a frozenset of flag names, ``options`` a tuple of
+    :class:`~repro.tcp.options.TcpOption`, ``payload`` real bytes.
+    """
+
+    __slots__ = (
+        "src_port", "dst_port", "seq", "ack", "flags", "window",
+        "options", "payload",
+    )
+
+    def __init__(self, src_port, dst_port, seq=0, ack=0, flags=frozenset(),
+                 window=65535, options=(), payload=b""):
+        unknown = set(flags) - VALID_FLAGS
+        if unknown:
+            raise ValueError("unknown TCP flags: %s" % sorted(unknown))
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = frozenset(flags)
+        self.window = window
+        self.options = tuple(options)
+        self.payload = bytes(payload)
+
+    def replace(self, **kwargs):
+        """Copy with some fields replaced (middlebox-safe mutation)."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(kwargs)
+        return Segment(**fields)
+
+    # -- flag helpers ----------------------------------------------------
+
+    @property
+    def is_syn(self):
+        return "SYN" in self.flags
+
+    @property
+    def is_ack(self):
+        return "ACK" in self.flags
+
+    @property
+    def is_fin(self):
+        return "FIN" in self.flags
+
+    @property
+    def is_rst(self):
+        return "RST" in self.flags
+
+    # -- sizes -----------------------------------------------------------
+
+    def options_size(self):
+        raw = encode_options(self.options) if self.options else b""
+        return len(raw)
+
+    def header_size(self):
+        return TCP_HEADER_BYTES + self.options_size()
+
+    def wire_size(self):
+        return self.header_size() + len(self.payload)
+
+    def seq_space(self):
+        """Sequence numbers consumed: payload plus SYN/FIN."""
+        return len(self.payload) + (1 if self.is_syn else 0) + (
+            1 if self.is_fin else 0
+        )
+
+    @property
+    def end_seq(self):
+        return self.seq + self.seq_space()
+
+    def find_option(self, kind):
+        """First option of the given kind, or None."""
+        for option in self.options:
+            if option.kind == kind:
+                return option
+        return None
+
+    def __repr__(self):
+        flags = "|".join(sorted(self.flags)) or "-"
+        return "Segment(%d->%d %s seq=%d ack=%d len=%d)" % (
+            self.src_port, self.dst_port, flags, self.seq, self.ack,
+            len(self.payload),
+        )

@@ -1,0 +1,78 @@
+"""TLS 1.3 (RFC 8446) handshake and record layer.
+
+This is the substrate TCPLS extends: a byte-exact record layer with
+AEAD protection and content-type hiding, the full key schedule
+(HKDF-Extract / Derive-Secret chains), a transcript-hashed PSK + FFDHE
+handshake with Finished verification, and an extension codec that
+TCPLS's handshake extensions plug into.
+
+Substitution note (see DESIGN.md): server authentication uses TLS 1.3's
+PSK mode rather than X.509 certificates -- TCPLS never touches
+certificate logic, only extensions and records, which are implemented
+in full.
+"""
+
+from repro.tls.extensions import (
+    EXT_COOKIE_TCPLS,
+    EXT_KEY_SHARE,
+    EXT_PRE_SHARED_KEY,
+    EXT_SUPPORTED_VERSIONS,
+    EXT_TCPLS_ADDRESSES,
+    EXT_TCPLS_HELLO,
+    EXT_TCPLS_JOIN,
+    EXT_TCPLS_SESSID,
+    Extension,
+    decode_extensions,
+    encode_extensions,
+)
+from repro.tls.handshake_messages import (
+    ClientHello,
+    EncryptedExtensions,
+    Finished,
+    ServerHello,
+)
+from repro.tls.keyschedule import KeySchedule, TrafficKeys
+from repro.tls.record import (
+    CONTENT_ALERT,
+    CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
+    MAX_RECORD_PAYLOAD,
+    RecordDecryptor,
+    RecordEncryptor,
+    RecordReassembler,
+    TlsRecordError,
+    encode_plaintext_record,
+)
+from repro.tls.endpoint import TlsClient, TlsServer, TlsError
+
+__all__ = [
+    "CONTENT_ALERT",
+    "CONTENT_APPLICATION_DATA",
+    "CONTENT_HANDSHAKE",
+    "ClientHello",
+    "EXT_COOKIE_TCPLS",
+    "EXT_KEY_SHARE",
+    "EXT_PRE_SHARED_KEY",
+    "EXT_SUPPORTED_VERSIONS",
+    "EXT_TCPLS_ADDRESSES",
+    "EXT_TCPLS_HELLO",
+    "EXT_TCPLS_JOIN",
+    "EXT_TCPLS_SESSID",
+    "EncryptedExtensions",
+    "Extension",
+    "Finished",
+    "KeySchedule",
+    "MAX_RECORD_PAYLOAD",
+    "RecordDecryptor",
+    "RecordEncryptor",
+    "RecordReassembler",
+    "ServerHello",
+    "TlsClient",
+    "TlsError",
+    "TlsRecordError",
+    "TlsServer",
+    "TrafficKeys",
+    "decode_extensions",
+    "encode_extensions",
+    "encode_plaintext_record",
+]

@@ -1,0 +1,161 @@
+"""QUIC baseline: UDP, packets/frames, connection behaviour."""
+
+import pytest
+
+from helpers import make_net
+
+from repro.baselines.quic import (
+    Datagram,
+    QuicClient,
+    QuicServer,
+    UdpStack,
+)
+from repro.baselines.quic import packet as qp
+from repro.net.address import Endpoint
+
+
+def quic_net(**net_kwargs):
+    sim, topo, _c, _s = make_net(families=[4], n_paths=1, **net_kwargs)
+    c_udp = UdpStack(sim, topo.client)
+    s_udp = UdpStack(sim, topo.server)
+    return sim, topo, c_udp, s_udp
+
+
+class TestUdp:
+    def test_datagram_roundtrip(self):
+        sim, topo, c_udp, s_udp = quic_net()
+        p = topo.path(0)
+        got = []
+        server_socket = s_udp.bind(p.server_addr, 4000)
+        server_socket.on_datagram = lambda d, src: got.append((d, src))
+        client_socket = c_udp.bind(p.client_addr)
+        client_socket.sendto(b"ping", Endpoint(p.server_addr, 4000))
+        sim.run(until=1)
+        assert got and got[0][0] == b"ping"
+        assert got[0][1].addr == p.client_addr
+
+    def test_double_bind_rejected(self):
+        sim, topo, c_udp, _ = quic_net()
+        c_udp.bind(topo.path(0).client_addr, 5000)
+        with pytest.raises(ValueError):
+            c_udp.bind(topo.path(0).client_addr, 5000)
+
+    def test_wire_size(self):
+        assert Datagram(1, 2, b"12345").wire_size() == 8 + 5
+
+
+class TestFrames:
+    def test_stream_frame_roundtrip(self):
+        frame = qp.StreamFrame(4, 1000, b"data", fin=True)
+        (out,) = qp.decode_frames(frame.encode())
+        assert (out.stream_id, out.offset, out.data, out.fin) == (
+            4, 1000, b"data", True)
+
+    def test_ack_frame_ranges_roundtrip(self):
+        received = {10, 9, 8, 5, 4, 1}
+        ack = qp.AckFrame.from_received(received)
+        (decoded,) = qp.decode_frames(ack.encode())
+        assert decoded.acked_packet_numbers() == received
+
+    def test_ack_contiguous(self):
+        ack = qp.AckFrame.from_received(set(range(100)))
+        assert ack.acked_packet_numbers() == set(range(100))
+
+    def test_mixed_frames_in_one_packet(self):
+        payload = (qp.PingFrame().encode()
+                   + qp.StreamFrame(0, 0, b"x").encode()
+                   + qp.HandshakeDoneFrame().encode())
+        frames = qp.decode_frames(payload)
+        assert [type(f).__name__ for f in frames] == [
+            "PingFrame", "StreamFrame", "HandshakeDoneFrame"]
+
+    def test_unknown_frame_rejected(self):
+        with pytest.raises(ValueError):
+            qp.decode_frames(b"\x7f")
+
+
+class TestConnection:
+    def establish(self, sim, topo, c_udp, s_udp, **kwargs):
+        p = topo.path(0)
+        server = QuicServer(sim, s_udp, p.server_addr, 4433, psk=b"q")
+        accepted = []
+        server.on_connection = accepted.append
+        client = QuicClient(sim, c_udp, p.client_addr,
+                            Endpoint(p.server_addr, 4433), psk=b"q",
+                            **kwargs)
+        client.start()
+        sim.run(until=1)
+        assert client.established
+        return client, server, accepted
+
+    def test_handshake_one_rtt(self):
+        sim, topo, c_udp, s_udp = quic_net()
+        established = []
+        p = topo.path(0)
+        QuicServer(sim, s_udp, p.server_addr, 4433, psk=b"q")
+        client = QuicClient(sim, c_udp, p.client_addr,
+                            Endpoint(p.server_addr, 4433), psk=b"q")
+        client.on_established = lambda c: established.append(sim.now)
+        client.start()
+        sim.run(until=1)
+        assert established[0] == pytest.approx(0.02, abs=0.01)
+
+    def test_bulk_stream_transfer(self):
+        sim, topo, c_udp, s_udp = quic_net()
+        client, server, accepted = self.establish(sim, topo, c_udp, s_udp)
+        received, fin = bytearray(), []
+
+        def on_sd(conn, sid, stream):
+            received.extend(stream.buffer)
+            stream.buffer.clear()
+            if stream.finished:
+                fin.append(sim.now)
+
+        accepted[0].on_stream_data = on_sd
+        size = 2 << 20
+        sid = client.open_stream()
+        client.stream_send(sid, b"q" * size, fin=True)
+        sim.run(until=30)
+        assert fin and len(received) == size
+
+    def test_loss_recovery(self):
+        sim, topo, c_udp, s_udp = quic_net()
+        topo.path(0).c2s.loss_rate = 0.02
+        client, server, accepted = self.establish(sim, topo, c_udp, s_udp)
+        received, fin = bytearray(), []
+
+        def on_sd(conn, sid, stream):
+            received.extend(stream.buffer)
+            stream.buffer.clear()
+            if stream.finished:
+                fin.append(sim.now)
+
+        accepted[0].on_stream_data = on_sd
+        size = 512 << 10
+        sid = client.open_stream()
+        client.stream_send(sid, bytes(range(256)) * (size // 256), fin=True)
+        sim.run(until=60)
+        assert fin
+        assert bytes(received) == bytes(range(256)) * (size // 256)
+
+    def test_acks_are_userspace_packets(self):
+        """The architectural difference Fig. 7 charges QUIC for: ACKs
+        are packets generated by the peer's user space."""
+        sim, topo, c_udp, s_udp = quic_net()
+        client, server, accepted = self.establish(sim, topo, c_udp, s_udp)
+        accepted[0].on_stream_data = lambda c, s, st: st.buffer.clear()
+        sid = client.open_stream()
+        client.stream_send(sid, b"a" * 200000, fin=True)
+        sim.run(until=10)
+        assert accepted[0].acks_sent > 20
+        assert client.packets_sent > 100
+
+    def test_gso_batching_reduces_sendmsg_calls(self):
+        sim, topo, c_udp, s_udp = quic_net()
+        client, _server, accepted = self.establish(
+            sim, topo, c_udp, s_udp, gso_batch=16)
+        accepted[0].on_stream_data = lambda c, s, st: st.buffer.clear()
+        sid = client.open_stream()
+        client.stream_send(sid, b"g" * 500000, fin=True)
+        sim.run(until=10)
+        assert client.sendmsg_calls < client.packets_sent / 2

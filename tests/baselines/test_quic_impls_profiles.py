@@ -1,0 +1,51 @@
+"""QUIC implementation profiles and their model interactions."""
+
+import pytest
+
+from repro.baselines.quic.impls import IMPL_PROFILES
+from repro.perf import CpuProfile, QuicSenderModel, solve_throughput_gbps
+
+
+def test_all_profiles_present():
+    assert set(IMPL_PROFILES) == {"quicly", "quicly-nogso", "msquic",
+                                  "mvfst"}
+
+
+def test_gso_profiles():
+    assert IMPL_PROFILES["quicly"].gso_batch > 1
+    assert IMPL_PROFILES["quicly-nogso"].gso_batch == 1
+    assert IMPL_PROFILES["msquic"].gso_batch == 1
+    assert IMPL_PROFILES["mvfst"].gso_batch > 1
+
+
+def test_gso_is_worth_roughly_the_syscall_amortisation():
+    cpu = CpuProfile()
+    with_gso = solve_throughput_gbps(
+        QuicSenderModel(cpu, IMPL_PROFILES["quicly"]))
+    without = solve_throughput_gbps(
+        QuicSenderModel(cpu, IMPL_PROFILES["quicly-nogso"]))
+    assert 1.3 < with_gso / without < 3.0
+
+
+def test_crypto_efficiency_bounds():
+    for profile in IMPL_PROFILES.values():
+        assert 0.0 < profile.crypto_efficiency <= 1.0
+
+
+def test_datagram_capped_regardless_of_mtu():
+    cpu = CpuProfile()
+    model = QuicSenderModel(cpu, IMPL_PROFILES["quicly"], mtu=9000)
+    assert model.packet_payload <= cpu.quic_max_datagram
+
+
+def test_faster_cpu_scales_quic_but_not_the_link_cap():
+    fast_cpu = CpuProfile(syscall_ns=900.0, udp_ns_per_packet=250.0)
+    slow_cpu = CpuProfile()
+    fast = solve_throughput_gbps(
+        QuicSenderModel(fast_cpu, IMPL_PROFILES["msquic"]))
+    slow = solve_throughput_gbps(
+        QuicSenderModel(slow_cpu, IMPL_PROFILES["msquic"]))
+    assert fast > slow
+    capped = solve_throughput_gbps(
+        QuicSenderModel(fast_cpu, IMPL_PROFILES["msquic"]), link_gbps=1.0)
+    assert capped == pytest.approx(1.0)

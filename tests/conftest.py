@@ -1,0 +1,6 @@
+"""Make the shared test helpers importable from any test module."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

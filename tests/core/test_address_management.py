@@ -1,0 +1,51 @@
+"""Mid-session address advertisement and withdrawal (Sec. 3.3.2)."""
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+from repro.net.address import IPAddress
+
+
+def test_server_announces_new_address():
+    sim, topo, cstack, sstack = make_net(n_paths=3, families=[4, 6, 4],
+                                         )
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    before = list(client.peer_addresses)
+    extra = IPAddress("203.0.113.99")
+    sessions[0].announce_address(extra)
+    sim.run(until=sim.now + 0.3)
+    assert extra in client.peer_addresses
+    assert len(client.peer_addresses) == len(before) + 1
+    # Duplicate announcements do not grow the list.
+    sessions[0].announce_address(extra)
+    sim.run(until=sim.now + 0.3)
+    assert client.peer_addresses.count(extra) == 1
+
+
+def test_server_withdraws_address():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    victim = client.peer_addresses[-1]
+    sessions[0].withdraw_address(victim)
+    sim.run(until=sim.now + 0.3)
+    assert victim not in client.peer_addresses
+
+
+def test_join_uses_freshly_announced_address():
+    """An address announced mid-session immediately participates in the
+    join target selection."""
+    sim, topo, cstack, sstack = make_net(n_paths=2, families=[4, 4])
+    client, server, sessions = tcpls_pair(
+        sim, topo, cstack, sstack,
+        server_kwargs={"advertise_addresses": False})
+    connect_tcpls(sim, topo, client)
+    assert client.peer_addresses == []
+    sessions[0].announce_address(topo.path(1).server_addr)
+    sim.run(until=sim.now + 0.3)
+    joined = []
+    client.on_join = joined.append
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    assert joined
+    assert joined[0].tcp.remote.addr == topo.path(1).server_addr

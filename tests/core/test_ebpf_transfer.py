@@ -1,0 +1,81 @@
+"""eBPF code remote attachment over the session (Sec. 4.4)."""
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+from repro.ebpf.programs import cubic_bytecode, reno_bytecode
+from repro.tcp.congestion import Cubic
+
+
+def test_server_ships_cc_client_attaches():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    attached = []
+    client.on_ebpf_attached = lambda c, p: attached.append((c.index, p))
+    srv = sessions[0]
+    srv.send_ebpf_program(srv.conns[0], cubic_bytecode(), program_id=7)
+    sim.run(until=sim.now + 1)
+    assert attached == [(0, 7)]
+    assert client.conns[0].tcp.cc.name == "ebpf:prog7"
+
+
+def test_attached_cc_inherits_window_state():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    client.conns[0].tcp.cc.cwnd = 123456.0
+    srv = sessions[0]
+    srv.send_ebpf_program(srv.conns[0], reno_bytecode())
+    sim.run(until=sim.now + 1)
+    assert client.conns[0].tcp.cc.cwnd == 123456
+
+
+def test_large_program_is_chunked():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(
+        sim, topo, cstack, sstack,
+        client_kwargs={"record_payload": 256},
+        server_kwargs={"record_payload": 256},
+    )
+    connect_tcpls(sim, topo, client)
+    attached = []
+    client.on_ebpf_attached = lambda c, p: attached.append(p)
+    srv = sessions[0]
+    bytecode = cubic_bytecode()
+    assert len(bytecode) > 256  # really needs several records
+    srv.send_ebpf_program(srv.conns[0], bytecode, program_id=2)
+    sim.run(until=sim.now + 1)
+    assert attached == [2]
+
+
+def test_unverifiable_program_rejected_quietly():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    attached = []
+    client.on_ebpf_attached = lambda c, p: attached.append(p)
+    before = client.conns[0].tcp.cc
+    srv = sessions[0]
+    srv.send_ebpf_program(srv.conns[0], b"\xff" * 64, program_id=9)
+    sim.run(until=sim.now + 1)
+    assert attached == []
+    assert client.conns[0].tcp.cc is before
+    assert isinstance(client.conns[0].tcp.cc, Cubic)
+
+
+def test_attached_cc_drives_real_transfer():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    srv = sessions[0]
+    srv.send_ebpf_program(srv.conns[0], reno_bytecode())
+    sim.run(until=sim.now + 0.5)
+    cc = client.conns[0].tcp.cc
+    assert cc.name.startswith("ebpf")
+    received = bytearray()
+    srv.on_stream_data = lambda st: received.extend(st.recv())
+    stream = client.create_stream(client.conns[0])
+    stream.send(b"d" * (1 << 20))
+    sim.run(until=sim.now + 10)
+    assert len(received) == 1 << 20
+    assert cc.invocations > 50  # the VM really ran per ACK

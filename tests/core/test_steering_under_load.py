@@ -1,0 +1,92 @@
+"""Stream steering scenarios from Sec. 3.3.3's application sketches."""
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+
+def test_http_server_steers_by_content_type():
+    """'An HTTP server could choose the TCP connection for the stream of
+    each response based on the content type': latency-critical objects
+    on the low-latency path, bulk on the other."""
+    sim, topo, cstack, sstack = make_net(
+        n_paths=2, rates=[25_000_000, 25_000_000],
+        delays=[0.005, 0.040])  # path0 = low latency
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.3)
+    srv = sessions[0]
+    arrivals = {}
+
+    def on_stream_data(stream):
+        data = stream.recv()
+        if data and stream.stream_id not in arrivals:
+            arrivals[stream.stream_id] = sim.now
+        stream.recv()
+
+    client.on_stream_data = on_stream_data
+    start = sim.now
+    critical = srv.create_stream(srv.conns[0])   # low-latency path
+    bulk = srv.create_stream(srv.conns[1])       # high-latency path
+    critical.send(b"{json}" * 10)
+    bulk.send(b"IMG" * 100000)
+    sim.run(until=start + 5)
+    assert arrivals[critical.stream_id] < arrivals[bulk.stream_id]
+    # The first critical byte beat one high-latency RTT.
+    assert arrivals[critical.stream_id] - start < 0.04
+
+
+def test_game_chat_and_commands_on_separate_streams():
+    """'An interactive game could use different streams for chat
+    messages and player's commands' -- a slow consumer on one stream
+    never blocks the other (per-stream HoL isolation)."""
+    sim, topo, cstack, sstack = make_net(n_paths=1, families=[4])
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    commands_seen = []
+    chat_seen = []
+    streams = {}
+
+    def on_stream_data(stream):
+        role = streams.get(stream.stream_id)
+        if role == "commands":
+            commands_seen.append((sim.now, stream.recv()))
+        else:
+            chat_seen.append((sim.now, stream.recv()))
+
+    sessions[0].on_stream_data = on_stream_data
+    chat = client.create_stream(conn)
+    commands = client.create_stream(conn)
+    sim.run(until=sim.now + 0.1)
+    streams[chat.stream_id] = "chat"
+    streams[commands.stream_id] = "commands"
+    # A burst of chat backlog plus a time-critical command.
+    chat.send(b"lorem " * 20000)
+    commands.send(b"MOVE N")
+    sim.run(until=sim.now + 5)
+    assert any(data == b"MOVE N" for _t, data in commands_seen)
+    assert b"".join(d for _t, d in chat_seen) == b"lorem " * 20000
+
+
+def test_steering_mid_burst_preserves_order():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.3)
+    received = bytearray()
+    sessions[0].on_stream_data = lambda st: received.extend(st.recv())
+    stream = client.create_stream(conn)
+    # Steer back and forth while continuously writing.
+    expected = bytearray()
+    for round_index in range(6):
+        chunk = bytes([round_index]) * 50000
+        stream.send(chunk)
+        expected += chunk
+        target = client.conns[round_index % 2]
+        client.steer_stream(stream, target)
+        sim.run(until=sim.now + 0.25)
+    sim.run(until=sim.now + 5)
+    assert bytes(received) == bytes(expected)
+    # Both paths moved data at some point.
+    assert topo.path(0).c2s.stats.tx_bytes > 20000
+    assert topo.path(1).c2s.stats.tx_bytes > 20000

@@ -1,0 +1,122 @@
+"""Stream and group API semantics: close, reads, error states."""
+
+import pytest
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+
+def setup(n_paths=2):
+    sim, topo, cstack, sstack = make_net(n_paths=n_paths)
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    return sim, topo, client, sessions, conn
+
+
+def test_stream_close_carries_fin_flag():
+    sim, topo, client, sessions, conn = setup()
+    seen = []
+
+    def on_stream_data(stream):
+        seen.append((stream.recv(), stream.fin_received))
+
+    sessions[0].on_stream_data = on_stream_data
+    stream = client.create_stream(conn)
+    stream.send(b"last words")
+    stream.close()
+    sim.run(until=sim.now + 0.5)
+    assert b"".join(data for data, _fin in seen) == b"last words"
+    assert seen[-1][1] is True  # FIN observed
+
+
+def test_send_after_close_rejected():
+    sim, topo, client, sessions, conn = setup()
+    stream = client.create_stream(conn)
+    stream.close()
+    with pytest.raises(RuntimeError):
+        stream.send(b"too late")
+
+
+def test_empty_close_sends_bare_fin():
+    sim, topo, client, sessions, conn = setup()
+    fins = []
+
+    def on_stream_data(stream):
+        stream.recv()
+        if stream.fin_received:
+            fins.append(stream.stream_id)
+
+    sessions[0].on_stream_data = on_stream_data
+    stream = client.create_stream(conn)
+    stream.close()   # no data at all
+    sim.run(until=sim.now + 0.5)
+    assert fins == [stream.stream_id]
+
+
+def test_partial_reads():
+    sim, topo, client, sessions, conn = setup()
+    collected = []
+    sessions[0].on_stream_data = lambda st: collected.append(st)
+    stream = client.create_stream(conn)
+    stream.send(b"abcdefgh")
+    sim.run(until=sim.now + 0.5)
+    server_stream = collected[-1]
+    assert server_stream.recv(3) == b"abc"
+    assert server_stream.recv(3) == b"def"
+    assert server_stream.recv() == b"gh"
+    assert server_stream.recv() == b""
+
+
+def test_queued_bytes_drain():
+    sim, topo, client, sessions, conn = setup()
+    sessions[0].on_stream_data = lambda st: st.recv()
+    stream = client.create_stream(conn)
+    stream.send(b"q" * (1 << 20))
+    assert stream.queued_bytes > 0 or conn.tcp.unsent_bytes() > 0
+    sim.run(until=sim.now + 5)
+    assert stream.queued_bytes == 0
+
+
+def test_group_send_after_close_rejected():
+    sim, topo, client, sessions, conn = setup()
+    group = client.create_coupled_group([conn])
+    group.close()
+    with pytest.raises(RuntimeError):
+        group.send(b"x")
+
+
+def test_group_remove_last_stream_pauses_delivery():
+    """Removing every member stream stops transmission; re-adding one
+    resumes it (the migration building block)."""
+    sim, topo, client, sessions, conn = setup()
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.3)
+    received = []
+    sessions[0].on_group_data = lambda g: received.append(len(g.recv()))
+    group = client.create_coupled_group([conn])
+    member = group.streams[0]
+    group.send(b"g" * 200000)
+    sim.run(until=sim.now + 0.1)
+    client.remove_group_stream(group, member)
+    drained = sum(received)
+    sim.run(until=sim.now + 1.0)
+    # Some tail drains from TCP buffers, then delivery stalls.
+    stalled_at = sum(received)
+    sim.run(until=sim.now + 1.0)
+    assert sum(received) == stalled_at
+    client.add_group_stream(group, client.conns[1])
+    sim.run(until=sim.now + 5.0)
+    assert sum(received) == 200000
+
+
+def test_stream_ids_never_reused():
+    sim, topo, client, sessions, conn = setup()
+    ids = set()
+    for _ in range(10):
+        stream = client.create_stream(conn)
+        assert stream.stream_id not in ids
+        ids.add(stream.stream_id)
+        stream.close()
+    srv = sessions[0]
+    sim.run(until=sim.now + 0.5)
+    server_stream = srv.create_stream(srv.conns[0])
+    assert server_stream.stream_id not in ids  # disjoint id spaces

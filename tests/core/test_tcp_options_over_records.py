@@ -1,0 +1,63 @@
+"""TCP options conveyed inside encrypted records (Secs. 3.1 / 4.2)."""
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+from repro.net.middlebox import OptionStrippingFirewall
+from repro.tcp.options import MAX_OPTIONS_BYTES
+
+
+def test_arbitrary_option_reaches_peer():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    seen = []
+    sessions[0].on_tcp_option = lambda c, kind, data: seen.append(
+        (kind, data))
+    client.send_tcp_option(conn, 253, b"experiment")
+    sim.run(until=sim.now + 0.3)
+    assert (253, b"experiment") in seen
+
+
+def test_option_larger_than_tcp_header_allows():
+    """The 40-byte TCP options area does not constrain record-conveyed
+    options (the paper's core extensibility argument)."""
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    big = bytes(range(256)) * 4   # 1 KiB >> 40 B
+    assert len(big) > MAX_OPTIONS_BYTES
+    seen = []
+    sessions[0].on_tcp_option = lambda c, kind, data: seen.append(
+        (kind, data))
+    client.send_tcp_option(conn, 254, big)
+    sim.run(until=sim.now + 0.3)
+    assert (254, big) in seen
+
+
+def test_record_conveyed_option_survives_option_stripper():
+    """A firewall that strips unknown wire options cannot touch an
+    option travelling inside an encrypted record."""
+    sim, topo, cstack, sstack = make_net()
+    stripper = OptionStrippingFirewall()
+    topo.path(0).c2s.add_middlebox(stripper)
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    seen = []
+    sessions[0].on_tcp_option = lambda c, kind, data: seen.append(kind)
+    client.send_tcp_option(conn, 99, b"hidden")
+    sim.run(until=sim.now + 0.3)
+    assert 99 in seen
+    assert stripper.stripped == 0  # nothing visible to strip
+
+
+def test_options_delivered_reliably_in_order():
+    sim, topo, cstack, sstack = make_net()
+    topo.path(0).c2s.loss_rate = 0.05
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    seen = []
+    sessions[0].on_tcp_option = lambda c, kind, data: seen.append(data)
+    for index in range(20):
+        client.send_tcp_option(conn, 253, bytes([index]))
+    sim.run(until=sim.now + 3)
+    assert seen == [bytes([index]) for index in range(20)]

@@ -1,0 +1,63 @@
+"""Remote tcp_info retrieval over the secure channel (Sec. 3.3.3)."""
+
+import pytest
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+from repro.core import record as rec
+
+
+def test_request_peer_tcp_info():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    conn = connect_tcpls(sim, topo, client)
+    # Move some data so the peer has non-trivial statistics.
+    sessions[0].on_stream_data = lambda st: st.recv()
+    stream = client.create_stream(conn)
+    stream.send(b"d" * 300000)
+    sim.run(until=sim.now + 2)
+
+    answers = []
+    client.request_peer_tcp_info(conn, lambda c, info: answers.append(info))
+    sim.run(until=sim.now + 0.5)
+    assert answers
+    info = answers[0]
+    # The server's view: it *received* ~300 kB and measured an RTT.
+    assert info["bytes_received"] >= 300000
+    assert info["srtt"] == pytest.approx(0.02, abs=0.02)
+    assert info["cwnd_bytes"] > 0
+
+
+def test_both_directions_and_multiple_callbacks():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    srv = sessions[0]
+    client_answers, server_answers = [], []
+    client.request_peer_tcp_info(
+        client.conns[0], lambda c, i: client_answers.append(i))
+    client.request_peer_tcp_info(
+        client.conns[0], lambda c, i: client_answers.append(i))
+    srv.request_peer_tcp_info(
+        srv.conns[0], lambda c, i: server_answers.append(i))
+    sim.run(until=sim.now + 0.5)
+    assert len(client_answers) == 2
+    assert len(server_answers) == 1
+
+
+def test_tcpinfo_codec_roundtrip():
+    info = {
+        "srtt": 0.0234, "cwnd_bytes": 123456, "ssthresh_bytes": None,
+        "bytes_acked": 1 << 33, "bytes_received": 42,
+        "retransmissions": 7,
+    }
+    out = rec.decode_tcpinfo_response(rec.encode_tcpinfo_response(info))
+    assert out["srtt"] == pytest.approx(0.0234, abs=1e-6)
+    assert out["cwnd_bytes"] == 123456
+    assert out["ssthresh_bytes"] is None
+    assert out["bytes_acked"] == 1 << 33
+    assert out["retransmissions"] == 7
+
+    info["ssthresh_bytes"] = 5000
+    out = rec.decode_tcpinfo_response(rec.encode_tcpinfo_response(info))
+    assert out["ssthresh_bytes"] == 5000

@@ -1,0 +1,165 @@
+"""Sec. 3.4 unlinkable joins: single-use tokens replace SESSID+cookie."""
+
+import pytest
+
+from helpers import PSK, connect_tcpls, make_net
+
+from repro.core import TcplsClient, TcplsServer
+from repro.net.middlebox import Middlebox
+from repro.tls.extensions import (
+    EXT_TCPLS_JOIN,
+    EXT_TCPLS_SESSID,
+    EXT_TCPLS_TOKEN,
+)
+from repro.tls.handshake_messages import ClientHello, HS_CLIENT_HELLO, \
+    parse_handshake_messages
+from repro.tls.record import CONTENT_HANDSHAKE, RECORD_HEADER_SIZE
+
+
+def token_pair(sim, topo, cstack, sstack, **server_kwargs):
+    server = TcplsServer(sim, sstack, 443, psk=PSK, token_mode=True,
+                         **server_kwargs)
+    sessions = []
+    server.on_session = sessions.append
+    client = TcplsClient(sim, cstack, psk=PSK)
+    return client, server, sessions
+
+
+class ClientHelloSniffer(Middlebox):
+    """Collects the cleartext ClientHello extension bytes per SYN-borne
+    or first-flight handshake record (what an on-path observer sees)."""
+
+    def __init__(self):
+        super().__init__("sniffer")
+        self.hellos = []
+
+    def process(self, packet):
+        self.processed += 1
+        if packet.proto != "tcp" or not packet.payload.payload:
+            return packet
+        data = packet.payload.payload
+        if data[0] != CONTENT_HANDSHAKE:
+            return packet
+        body = data[RECORD_HEADER_SIZE:]
+        messages, _ = parse_handshake_messages(body)
+        for msg_type, msg_body, _raw in messages:
+            if msg_type == HS_CLIENT_HELLO:
+                self.hellos.append(ClientHello.decode(msg_body))
+        return packet
+
+
+def test_token_mode_join_works():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = token_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    assert client.tokens and not client.cookies
+    joined = []
+    client.on_join = joined.append
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    assert joined
+    assert len(sessions[0].conns) == 2
+    received = bytearray()
+    sessions[0].on_stream_data = lambda st: received.extend(st.recv())
+    stream = client.create_stream(client.conns[1])
+    stream.send(b"token-joined" * 300)
+    sim.run(until=sim.now + 1)
+    assert bytes(received) == b"token-joined" * 300
+
+
+def test_token_is_single_use():
+    sim, topo, cstack, sstack = make_net(n_paths=3, families=[4, 4, 4])
+    client, server, sessions = token_pair(sim, topo, cstack, sstack,
+                                          auto_replenish=False)
+    connect_tcpls(sim, topo, client)
+    used = client.tokens[0]
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    client.tokens.insert(0, used)  # replay
+    failures = []
+    client.on_conn_failed = lambda c, r: failures.append(r)
+    client.join(topo.path(2).client_addr)
+    sim.run(until=sim.now + 1)
+    assert failures
+    assert len(sessions[0].conns) == 2
+
+
+def test_forged_token_rejected():
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = token_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    client.tokens = [b"\xAA" * 16]
+    failures = []
+    client.on_conn_failed = lambda c, r: failures.append(r)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 1)
+    assert failures and len(sessions[0].conns) == 1
+
+
+def test_tokens_replenished_on_join():
+    sim, topo, cstack, sstack = make_net(n_paths=3, families=[4, 6, 4])
+    client, server, sessions = token_pair(sim, topo, cstack, sstack,
+                                          cookie_batch=1)
+    connect_tcpls(sim, topo, client)
+    assert len(client.tokens) == 1
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    assert len(client.tokens) >= 1  # batch refreshed in-band
+    client.join(topo.path(2).client_addr)
+    sim.run(until=sim.now + 0.5)
+    assert len(sessions[0].conns) == 3
+
+
+def test_unlinkability_no_value_repeats_on_the_wire():
+    """The property Sec. 3.4 aims for: an observer of the (cleartext)
+    ClientHellos of a session's connections sees no common identifier.
+    With SESSID+cookie joins, the SESSID repeats; with tokens, nothing
+    does."""
+    # -- token mode ------------------------------------------------------
+    sim, topo, cstack, sstack = make_net(n_paths=3, families=[4, 4, 4])
+    sniffers = []
+    for path in topo.paths:
+        sniffer = ClientHelloSniffer()
+        path.c2s.add_middlebox(sniffer)
+        sniffers.append(sniffer)
+    client, server, sessions = token_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    client.join(topo.path(2).client_addr)
+    sim.run(until=sim.now + 0.5)
+    hellos = [h for sniffer in sniffers for h in sniffer.hellos]
+    assert len(hellos) >= 3
+    tcpls_payloads = [
+        ext.data
+        for hello in hellos
+        for ext in hello.extensions
+        if ext.ext_type in (EXT_TCPLS_JOIN, EXT_TCPLS_TOKEN,
+                            EXT_TCPLS_SESSID) and ext.data
+    ]
+    # Every credential observed is unique: connections unlinkable.
+    assert len(set(tcpls_payloads)) == len(tcpls_payloads)
+
+    # -- classic cookie mode shows the linkable SESSID -------------------
+    sim, topo, cstack, sstack = make_net(n_paths=3, families=[4, 4, 4])
+    sniffers = []
+    for path in topo.paths:
+        sniffer = ClientHelloSniffer()
+        path.c2s.add_middlebox(sniffer)
+        sniffers.append(sniffer)
+    server = TcplsServer(sim, sstack, 443, psk=PSK)
+    server.on_session = lambda s: None
+    client = TcplsClient(sim, cstack, psk=PSK)
+    connect_tcpls(sim, topo, client)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.5)
+    client.join(topo.path(2).client_addr)
+    sim.run(until=sim.now + 0.5)
+    hellos = [h for sniffer in sniffers for h in sniffer.hellos]
+    join_exts = [
+        ext.data for hello in hellos for ext in hello.extensions
+        if ext.ext_type == EXT_TCPLS_JOIN
+    ]
+    assert len(join_exts) == 2
+    # Both joins lead with the same 16-byte SESSID: linkable.
+    assert join_exts[0][:16] == join_exts[1][:16]

@@ -1,0 +1,40 @@
+"""Zero-copy receive framing (Sec. 3.1)."""
+
+import pytest
+
+from repro.core.record import (
+    RECORD_TYPE_STREAM_DATA,
+    decode_inner,
+    encode_inner,
+)
+
+
+def test_zero_copy_payload_is_a_view_over_the_buffer():
+    payload = b"Z" * 4096
+    inner = encode_inner(RECORD_TYPE_STREAM_DATA, payload, b"\x00")
+    record = decode_inner(inner, zero_copy=True)
+    assert isinstance(record.payload, memoryview)
+    assert bytes(record.payload) == payload
+    # Same backing memory: mutating the source shows through the view.
+    buffer = bytearray(inner)
+    record2 = decode_inner(buffer, zero_copy=True)
+    buffer[0] = ord("!")
+    assert record2.payload[0] == ord("!")
+
+
+def test_default_decode_copies():
+    inner = bytearray(encode_inner(RECORD_TYPE_STREAM_DATA, b"abc"))
+    record = decode_inner(inner)
+    inner[0] = ord("X")
+    assert bytes(record.payload) == b"abc"  # unaffected: a copy
+
+
+def test_zero_copy_and_copy_agree():
+    payload = bytes(range(256))
+    control = b"\x01" + b"\x07" * 8
+    inner = encode_inner(0x30, payload, control)
+    a = decode_inner(inner)
+    b = decode_inner(inner, zero_copy=True)
+    assert bytes(a.payload) == bytes(b.payload)
+    assert a.control == b.control
+    assert a.record_type == b.record_type

@@ -1,0 +1,114 @@
+"""AEAD interface invariants across all cipher suites."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import (
+    Aes128Gcm,
+    AeadAuthenticationError,
+    Chacha20Poly1305,
+    NullTagCipher,
+    get_cipher,
+)
+
+CIPHERS = [Chacha20Poly1305, Aes128Gcm, NullTagCipher]
+
+
+def make(cipher_cls):
+    return cipher_cls(bytes(range(cipher_cls.key_size)))
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_seal_open_roundtrip(cipher_cls):
+    cipher = make(cipher_cls)
+    nonce = b"\x07" * 12
+    sealed = cipher.seal(nonce, b"payload", b"aad")
+    assert len(sealed) == len(b"payload") + cipher.tag_size
+    assert cipher.open(nonce, sealed, b"aad") == b"payload"
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_wrong_nonce_rejected(cipher_cls):
+    cipher = make(cipher_cls)
+    sealed = cipher.seal(b"\x00" * 12, b"data")
+    with pytest.raises(AeadAuthenticationError):
+        cipher.open(b"\x01" * 12, sealed)
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_wrong_aad_rejected(cipher_cls):
+    cipher = make(cipher_cls)
+    sealed = cipher.seal(b"\x00" * 12, b"data", b"aad-a")
+    with pytest.raises(AeadAuthenticationError):
+        cipher.open(b"\x00" * 12, sealed, b"aad-b")
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_wrong_key_rejected(cipher_cls):
+    sealed = make(cipher_cls).seal(b"\x00" * 12, b"data")
+    other = cipher_cls(b"\xFF" * cipher_cls.key_size)
+    with pytest.raises(AeadAuthenticationError):
+        other.open(b"\x00" * 12, sealed)
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_bitflip_rejected(cipher_cls):
+    cipher = make(cipher_cls)
+    sealed = bytearray(cipher.seal(b"\x00" * 12, b"some data here"))
+    sealed[3] ^= 0x01
+    with pytest.raises(AeadAuthenticationError):
+        cipher.open(b"\x00" * 12, bytes(sealed))
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_verify_tag_matches_open(cipher_cls):
+    """verify_tag is the cheap trial TCPLS demux relies on: it must
+    accept exactly what open accepts."""
+    cipher = make(cipher_cls)
+    nonce = b"\x05" * 12
+    sealed = cipher.seal(nonce, b"record", b"hdr")
+    assert cipher.verify_tag(nonce, sealed, b"hdr")
+    assert not cipher.verify_tag(b"\x06" * 12, sealed, b"hdr")
+    assert not cipher.verify_tag(nonce, sealed, b"other")
+    assert not cipher.verify_tag(nonce, sealed[:-1] + b"\x00", b"hdr")
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_short_record_rejected(cipher_cls):
+    cipher = make(cipher_cls)
+    with pytest.raises(AeadAuthenticationError):
+        cipher.open(b"\x00" * 12, b"tiny")
+    assert not cipher.verify_tag(b"\x00" * 12, b"tiny")
+
+
+@pytest.mark.parametrize("cipher_cls", CIPHERS)
+def test_bad_key_size_rejected(cipher_cls):
+    with pytest.raises(ValueError):
+        cipher_cls(b"short")
+
+
+def test_registry():
+    assert get_cipher("null-tag") is NullTagCipher
+    assert get_cipher("aes128gcm") is Aes128Gcm
+    assert get_cipher("chacha20poly1305") is Chacha20Poly1305
+    with pytest.raises(ValueError):
+        get_cipher("rot13")
+
+
+@settings(max_examples=50)
+@given(st.binary(max_size=512), st.binary(max_size=64),
+       st.binary(min_size=12, max_size=12))
+def test_property_nulltag_roundtrip(payload, aad, nonce):
+    cipher = NullTagCipher(b"k" * 32)
+    sealed = cipher.seal(nonce, payload, aad)
+    assert cipher.open(nonce, sealed, aad) == payload
+
+
+@settings(max_examples=15)
+@given(st.binary(max_size=96), st.binary(max_size=24),
+       st.binary(min_size=12, max_size=12))
+def test_property_chacha_roundtrip(payload, aad, nonce):
+    cipher = Chacha20Poly1305(b"K" * 32)
+    sealed = cipher.seal(nonce, payload, aad)
+    assert cipher.open(nonce, sealed, aad) == payload

@@ -1,0 +1,64 @@
+"""Robustness of the eBPF trust boundary against arbitrary bytecode."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf import (
+    EbpfVm,
+    ExecutionError,
+    VerificationError,
+    decode_program,
+    verify,
+)
+from repro.ebpf.cc_hooks import EbpfCongestionControl
+
+
+@settings(max_examples=300)
+@given(st.binary(min_size=8, max_size=256).map(
+    lambda b: b[: len(b) - len(b) % 8]))
+def test_property_random_bytecode_never_attaches_unsafely(data):
+    """Arbitrary wire bytes either fail decoding/verification cleanly or
+    produce a program the VM executes within its budget -- no crashes,
+    no infinite loops, no out-of-frame memory access."""
+    try:
+        program = decode_program(data)
+    except ValueError:
+        return
+    try:
+        verify(program)
+    except VerificationError:
+        return
+    vm = EbpfVm(program, instruction_budget=10_000)
+    try:
+        vm.run(bytearray(136))
+    except ExecutionError:
+        pass  # runtime faults are contained
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=128))
+def test_property_cc_adapter_rejects_garbage(data):
+    """from_bytecode either raises or yields a working controller."""
+    try:
+        cc = EbpfCongestionControl.from_bytecode(1460, data)
+    except Exception:
+        return
+    cc.on_ack(1460, 0.02, 1.0, 0)
+    cc.on_loss(2.0)
+    assert cc.cwnd >= 1460
+
+
+def test_hostile_program_cannot_touch_outside_context():
+    """A verified program stays inside its sandbox even when it computes
+    wild pointers at runtime."""
+    from repro.ebpf import assemble
+    import pytest
+
+    program = assemble("""
+        lddw r2, 0xDEADBEEF
+        ldxdw r0, [r2+0]
+        exit
+    """)
+    verify(program)  # pointer provenance is a runtime check
+    with pytest.raises(ExecutionError):
+        EbpfVm(program).run(bytearray(64))

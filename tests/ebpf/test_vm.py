@@ -1,0 +1,253 @@
+"""eBPF assembler, verifier and interpreter."""
+
+import pytest
+
+from repro.ebpf import (
+    AssemblyError,
+    EbpfVm,
+    ExecutionError,
+    VerificationError,
+    assemble,
+    decode_program,
+    encode_program,
+    verify,
+)
+from repro.ebpf.vm import _cbrt_u64
+
+
+def run(source, ctx=b"", budget=100_000):
+    program = assemble(source)
+    verify(program)
+    vm = EbpfVm(program, instruction_budget=budget)
+    buffer = bytearray(ctx)
+    result = vm.run(buffer)
+    return result, buffer
+
+
+class TestAssemblerVm:
+    def test_mov_and_arithmetic(self):
+        result, _ = run("""
+            mov r0, 7
+            add r0, 5
+            mul r0, 3
+            sub r0, 6
+            div r0, 2
+            exit
+        """)
+        assert result == 15
+
+    def test_register_operands(self):
+        result, _ = run("""
+            mov r1, 10
+            mov r2, 4
+            mov r0, r1
+            sub r0, r2
+            exit
+        """)
+        assert result == 6
+
+    def test_lddw_64bit_immediate(self):
+        result, _ = run("""
+            lddw r0, 0x1_0000_0000
+            add r0, 2
+            exit
+        """)
+        assert result == (1 << 32) + 2
+
+    def test_bitwise_and_shifts(self):
+        result, _ = run("""
+            mov r0, 0xF0
+            or  r0, 0x0F
+            and r0, 0x3C
+            lsh r0, 2
+            rsh r0, 1
+            xor r0, 1
+            exit
+        """)
+        assert result == ((0x3C << 2) >> 1) ^ 1
+
+    def test_unsigned_wraparound(self):
+        result, _ = run("""
+            mov r0, 0
+            sub r0, 1
+            exit
+        """)
+        assert result == (1 << 64) - 1
+
+    def test_signed_comparisons(self):
+        result, _ = run("""
+            mov r0, 0
+            sub r0, 5        ; r0 = -5
+            jsgt r0, 0, bad
+            mov r0, 1
+            exit
+        bad:
+            mov r0, 2
+            exit
+        """)
+        assert result == 1
+
+    def test_conditional_jump_and_labels(self):
+        result, _ = run("""
+            mov r1, 3
+            jeq r1, 3, yes
+            mov r0, 0
+            exit
+        yes:
+            mov r0, 42
+            exit
+        """)
+        assert result == 42
+
+    def test_context_load_store(self):
+        ctx = (100).to_bytes(8, "little") + bytes(8)
+        result, buffer = run("""
+            ldxdw r2, [r1+0]
+            mul r2, 2
+            stxdw [r1+8], r2
+            mov r0, 0
+            exit
+        """, ctx)
+        assert int.from_bytes(buffer[8:16], "little") == 200
+
+    def test_stack_access(self):
+        result, _ = run("""
+            mov r2, 77
+            stxdw [r10-8], r2
+            ldxdw r0, [r10-8]
+            exit
+        """)
+        assert result == 77
+
+    def test_byte_sized_memory_ops(self):
+        ctx = bytes([0xAB, 0, 0, 0])
+        result, buffer = run("""
+            ldxb r0, [r1+0]
+            stxb [r1+1], r0
+            exit
+        """, ctx)
+        assert buffer[1] == 0xAB
+
+    def test_helper_call_cbrt(self):
+        result, _ = run("""
+            lddw r1, 1000000
+            call cbrt
+            exit
+        """)
+        assert result == 100
+
+    def test_division_by_zero_register_faults(self):
+        program = assemble("""
+            mov r0, 1
+            mov r2, 0
+            div r0, r2
+            exit
+        """)
+        verify(program)  # register div can't be checked statically
+        with pytest.raises(ExecutionError):
+            EbpfVm(program).run(bytearray())
+
+    def test_out_of_bounds_context_access_faults(self):
+        program = assemble("""
+            ldxdw r0, [r1+128]
+            exit
+        """)
+        verify(program)
+        with pytest.raises(ExecutionError):
+            EbpfVm(program).run(bytearray(16))
+
+    def test_instruction_budget(self):
+        program = assemble("""
+        loop:
+            ja loop
+        """ + "    exit\n")
+        with pytest.raises(ExecutionError):
+            EbpfVm(program, instruction_budget=100).run(bytearray())
+
+
+class TestAssemblerErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r0, 1\nexit")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov r11, 1\nexit")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("ja nowhere\nexit")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\na:\nexit")
+
+
+class TestVerifier:
+    def test_rejects_empty(self):
+        with pytest.raises(VerificationError):
+            verify([])
+
+    def test_rejects_missing_exit(self):
+        with pytest.raises(VerificationError):
+            verify(assemble("mov r0, 1\nja done\ndone:\nmov r0, 2\nexit")
+                   [:-1])
+
+    def test_rejects_write_to_r10(self):
+        program = assemble("mov r9, 1\nexit")
+        program[0].dst = 10
+        with pytest.raises(VerificationError):
+            verify(program)
+
+    def test_rejects_back_edges_by_default(self):
+        program = assemble("""
+        top:
+            ja top
+            exit
+        """)
+        with pytest.raises(VerificationError):
+            verify(program)
+        verify(program, allow_loops=True)
+
+    def test_rejects_divide_by_zero_immediate(self):
+        with pytest.raises(VerificationError):
+            verify(assemble("mov r0, 4\ndiv r0, 0\nexit"))
+
+    def test_rejects_stack_out_of_frame(self):
+        with pytest.raises(VerificationError):
+            verify(assemble("ldxdw r0, [r10-1024]\nexit"))
+        with pytest.raises(VerificationError):
+            verify(assemble("stxdw [r10+8], r0\nexit"))
+
+    def test_rejects_unknown_helper_when_table_given(self):
+        program = assemble("call 99\nexit")
+        with pytest.raises(VerificationError):
+            verify(program, helpers={1, 2, 3})
+
+
+class TestWireFormat:
+    def test_encode_decode_roundtrip(self):
+        program = assemble("""
+            lddw r2, 0xDEADBEEF00
+            mov r0, r2
+            jne r0, 0, out
+            mov r0, 1
+        out:
+            exit
+        """)
+        assert decode_program(encode_program(program)) == program
+
+    def test_encoded_size_counts_lddw_twice(self):
+        program = assemble("lddw r0, 0x1_0000_0000\nexit")
+        assert len(encode_program(program)) == 8 * 3
+
+    def test_decode_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            decode_program(b"\x00" * 7)
+
+
+def test_cbrt_exactness():
+    for x in (0, 1, 7, 8, 26, 27, 10**18):
+        root = _cbrt_u64(x)
+        assert root ** 3 <= x
+        assert (root + 1) ** 3 > x

@@ -1,0 +1,87 @@
+"""Shared test scaffolding: canned topologies and endpoint pairs."""
+
+from repro.net import Simulator, build_multipath
+from repro.net.address import Endpoint
+from repro.tcp import TcpStack
+from repro.core import TcplsClient, TcplsServer
+
+PSK = b"test-psk"
+
+
+def make_net(n_paths=2, **topo_kwargs):
+    """(sim, topology, client TcpStack, server TcpStack)."""
+    sim = Simulator(seed=7)
+    topo = build_multipath(sim, n_paths=n_paths, **topo_kwargs)
+    cstack = TcpStack(sim, topo.client)
+    sstack = TcpStack(sim, topo.server)
+    return sim, topo, cstack, sstack
+
+
+def tcp_pair(sim, topo, cstack, sstack, port=443, path=0, cc="cubic",
+             server_cc=None):
+    """Establish one TCP connection; returns (client_conn, accepted_list).
+
+    The accepted list is populated when the server accepts; run the sim
+    to make that happen.
+    """
+    accepted = []
+    sstack.listen(port, accepted.append, cc=server_cc or cc)
+    p = topo.path(path)
+    conn = cstack.connect(p.client_addr, Endpoint(p.server_addr, port),
+                          cc=cc)
+    return conn, accepted
+
+
+def bulk_sender(conn, payload):
+    """Pump `payload` through a TCP connection respecting buffer space."""
+    progress = {"sent": 0}
+
+    def pump(c):
+        while progress["sent"] < len(payload) and c.send_space() > 0:
+            take = int(min(65536, c.send_space()))
+            n = c.send(payload[progress["sent"]:progress["sent"] + take])
+            if n == 0:
+                break
+            progress["sent"] += n
+
+    conn.on_established = pump
+    conn.on_send_space = pump
+    return progress
+
+
+def bulk_receiver(sink=None):
+    """on_accept callback collecting all received bytes into a bytearray."""
+    received = bytearray() if sink is None else sink
+
+    def on_accept(conn):
+        conn.on_data = lambda c: received.extend(c.recv())
+
+    return on_accept, received
+
+
+def tcpls_pair(sim, topo, cstack, sstack, port=443, psk=PSK,
+               client_kwargs=None, server_kwargs=None):
+    """A TCPLS client/server pair; returns (client, server, sessions).
+
+    ``sessions`` collects server-side sessions as they appear.
+    """
+    sessions = []
+    server = TcplsServer(sim, sstack, port, psk=psk,
+                         **(server_kwargs or {}))
+    server.on_session = sessions.append
+    client = TcplsClient(sim, cstack, psk=psk, **(client_kwargs or {}))
+    return client, server, sessions
+
+
+def connect_tcpls(sim, topo, client, path=0, port=443, timeout=1.0):
+    """Open the primary connection and run just until the session is
+    ready (leaves the clock barely past the handshake)."""
+    p = topo.path(path)
+    client.connect(p.client_addr, Endpoint(p.server_addr, port))
+    deadline = sim.now + timeout
+    while not client.ready and sim.now < deadline:
+        sim.run(until=min(sim.now + 0.01, deadline))
+    assert client.ready, "TCPLS session failed to become ready"
+    # Let the client Finished reach the server so both sides are up.
+    sim.run(until=sim.now + 0.05)
+    return client.conns[0]

@@ -1,0 +1,56 @@
+"""Addresses and endpoints."""
+
+import pytest
+
+from repro.net.address import Endpoint, IPAddress, ip_header_size
+
+
+def test_v4_and_v6_families():
+    assert IPAddress("10.0.0.1").family == 4
+    assert IPAddress("fd00::1").family == 6
+    assert IPAddress("10.0.0.1").is_v4
+    assert IPAddress("fd00::1").is_v6
+
+
+def test_packed_roundtrip():
+    for text in ("192.168.1.7", "fd01::2a"):
+        address = IPAddress(text)
+        assert IPAddress.from_packed(address.packed()) == address
+
+
+def test_packed_rejects_bad_length():
+    with pytest.raises(ValueError):
+        IPAddress.from_packed(b"\x01\x02\x03")
+
+
+def test_equality_with_string():
+    assert IPAddress("10.0.0.1") == "10.0.0.1"
+    assert IPAddress("fd00::1") == IPAddress("fd00:0::1")
+
+
+def test_hashable_canonical():
+    assert len({IPAddress("fd00::1"), IPAddress("fd00:0:0::1")}) == 1
+
+
+def test_endpoint_formatting():
+    assert str(Endpoint("10.0.0.1", 443)) == "10.0.0.1:443"
+    assert str(Endpoint("fd00::1", 443)) == "[fd00::1]:443"
+
+
+def test_endpoint_port_range():
+    with pytest.raises(ValueError):
+        Endpoint("10.0.0.1", 70000)
+    with pytest.raises(ValueError):
+        Endpoint("10.0.0.1", -1)
+
+
+def test_endpoint_equality_and_hash():
+    a = Endpoint("10.0.0.1", 80)
+    b = Endpoint(IPAddress("10.0.0.1"), 80)
+    assert a == b and hash(a) == hash(b)
+    assert a != Endpoint("10.0.0.1", 81)
+
+
+def test_ip_header_sizes():
+    assert ip_header_size(4) == 20
+    assert ip_header_size(6) == 40

@@ -1,0 +1,97 @@
+"""Event loop: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.net import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.5, fired.append, "b")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.9, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.9)
+
+
+def test_equal_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.at(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(0.2, fired.append, "keep")
+    drop = sim.schedule(0.1, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_scheduling_into_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(0.1, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(RuntimeError):
+        sim.run(until=10.0, max_events=50)
+
+
+def test_rng_determinism():
+    values_a = [Simulator(seed=42).rng.random() for _ in range(3)]
+    values_b = [Simulator(seed=42).rng.random() for _ in range(3)]
+    assert values_a == values_b
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending_events == 1

@@ -1,0 +1,117 @@
+"""Cost model: the Fig. 7 orderings must be emergent and stable."""
+
+import pytest
+
+from repro.baselines.quic.impls import IMPL_PROFILES
+from repro.perf import (
+    CpuProfile,
+    QuicSenderModel,
+    TcplsModel,
+    TcplsVariant,
+    TlsTcpModel,
+    solve_throughput_gbps,
+)
+
+
+@pytest.fixture
+def cpu():
+    return CpuProfile()
+
+
+def gbps(model):
+    return solve_throughput_gbps(model)
+
+
+def test_baseline_matches_paper_tls_numbers(cpu):
+    assert gbps(TlsTcpModel(cpu, mtu=1500)) == pytest.approx(10.3, rel=0.1)
+    assert gbps(TlsTcpModel(cpu, mtu=9000)) == pytest.approx(12.6, rel=0.1)
+
+
+def test_tcpls_base_similar_to_tls(cpu):
+    tls = gbps(TlsTcpModel(cpu, mtu=1500))
+    tcpls = gbps(TcplsModel(cpu, mtu=1500))
+    assert tcpls == pytest.approx(tls, rel=0.1)
+    assert tcpls >= tls  # the paper's small advantage at 1500
+
+
+def test_failover_costs_single_digit_percent(cpu):
+    base = gbps(TcplsModel(cpu, mtu=1500))
+    failover = gbps(TcplsModel(cpu, mtu=1500,
+                               variant=TcplsVariant.FAILOVER))
+    assert failover == pytest.approx(9.66, rel=0.1)
+    assert 0.85 < failover / base < 0.97
+
+
+def test_multipath_within_ten_percent_of_failover(cpu):
+    """Sec. 5.1: coupled 2-path TCPLS is 'less than 10% below
+    Failover'."""
+    failover = gbps(TcplsModel(cpu, mtu=1500,
+                               variant=TcplsVariant.FAILOVER))
+    multipath = gbps(TcplsModel(cpu, mtu=1500,
+                                variant=TcplsVariant.MULTIPATH))
+    assert 0.90 < multipath / failover < 1.0
+
+
+def test_tcpls_at_least_twice_quicly(cpu):
+    tcpls = gbps(TcplsModel(cpu, mtu=1500))
+    quicly = gbps(QuicSenderModel(cpu, IMPL_PROFILES["quicly"], mtu=1500))
+    assert tcpls / quicly >= 2.0
+
+
+def test_quic_implementation_ordering(cpu):
+    quicly = gbps(QuicSenderModel(cpu, IMPL_PROFILES["quicly"]))
+    msquic = gbps(QuicSenderModel(cpu, IMPL_PROFILES["msquic"]))
+    mvfst = gbps(QuicSenderModel(cpu, IMPL_PROFILES["mvfst"]))
+    assert quicly > msquic > mvfst
+    assert quicly == pytest.approx(4.4, rel=0.15)
+    assert msquic == pytest.approx(1.96, rel=0.15)
+
+
+def test_quicly_jumbo_decreases_but_beats_nogso(cpu):
+    """Sec. 5.1: 'quicly's performance decreases with jumbo frames but
+    is still faster than without GSO'."""
+    at_1500 = gbps(QuicSenderModel(cpu, IMPL_PROFILES["quicly"], mtu=1500))
+    at_9000 = gbps(QuicSenderModel(cpu, IMPL_PROFILES["quicly"], mtu=9000))
+    nogso = gbps(QuicSenderModel(cpu, IMPL_PROFILES["quicly-nogso"],
+                                 mtu=9000))
+    assert at_9000 < at_1500
+    assert at_9000 > nogso
+
+
+def test_jumbo_helps_tcp_family(cpu):
+    for model_cls in (TlsTcpModel, TcplsModel):
+        assert gbps(model_cls(cpu, mtu=9000)) > gbps(model_cls(cpu,
+                                                               mtu=1500))
+
+
+def test_untuned_receive_path_costs_throughput(cpu):
+    """The picotls buffer fix of Sec. 5.1 (~40% client gain): extra
+    copies on the receive path must show up as lost throughput."""
+    tuned = TlsTcpModel(cpu, mtu=1500, extra_copies=0)
+    untuned = TlsTcpModel(cpu, mtu=1500, extra_copies=25)
+    assert (untuned.receiver_ns_per_byte()
+            > tuned.receiver_ns_per_byte() * 1.2)
+
+
+def test_record_size_sweep_monotone(cpu):
+    """Smaller records amortise less per-record work (App. A's CPU
+    remark)."""
+    rates = [gbps(TcplsModel(cpu, record_size=size))
+             for size in (1500, 4096, 16384)]
+    assert rates == sorted(rates)
+
+
+def test_link_caps_throughput(cpu):
+    slow_link = solve_throughput_gbps(TlsTcpModel(cpu), link_gbps=1.0)
+    assert slow_link == 1.0
+
+
+def test_ack_interval_sweep(cpu):
+    """The paper's future-work knob: fewer record ACKs, less overhead."""
+    sparse = gbps(TcplsModel(cpu, variant=TcplsVariant.FAILOVER,
+                             ack_interval=64))
+    default = gbps(TcplsModel(cpu, variant=TcplsVariant.FAILOVER,
+                              ack_interval=16))
+    dense = gbps(TcplsModel(cpu, variant=TcplsVariant.FAILOVER,
+                            ack_interval=2))
+    assert sparse > default > dense

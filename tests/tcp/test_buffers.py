@@ -1,0 +1,125 @@
+"""Send/receive buffers, including out-of-order reassembly properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+
+
+class TestSendBuffer:
+    def test_write_and_peek(self):
+        buf = SendBuffer(base_seq=100)
+        assert buf.write(b"hello world") == 11
+        assert buf.peek(100, 5) == b"hello"
+        assert buf.peek(106, 5) == b"world"
+
+    def test_capacity_limits_writes(self):
+        buf = SendBuffer(base_seq=0, capacity=10)
+        assert buf.write(b"x" * 8) == 8
+        assert buf.write(b"y" * 8) == 2
+        assert buf.free_space() == 0
+
+    def test_ack_frees_space(self):
+        buf = SendBuffer(base_seq=0, capacity=10)
+        buf.write(b"0123456789")
+        assert buf.ack_to(4) == 4
+        assert buf.base_seq == 4
+        assert buf.peek(4, 3) == b"456"
+        assert buf.free_space() == 4
+
+    def test_ack_below_base_is_noop(self):
+        buf = SendBuffer(base_seq=50)
+        buf.write(b"abc")
+        assert buf.ack_to(40) == 0
+
+    def test_peek_below_base_rejected(self):
+        buf = SendBuffer(base_seq=10)
+        buf.write(b"abc")
+        buf.ack_to(11)
+        try:
+            buf.peek(10, 1)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+
+class TestReceiveBuffer:
+    def test_in_order_delivery(self):
+        buf = ReceiveBuffer(rcv_nxt=0)
+        assert buf.offer(0, b"abc") == 3
+        assert buf.read() == b"abc"
+        assert buf.rcv_nxt == 3
+
+    def test_out_of_order_held_until_gap_fills(self):
+        buf = ReceiveBuffer(rcv_nxt=0)
+        assert buf.offer(3, b"def") == 0
+        assert buf.readable_bytes() == 0
+        assert buf.has_gap()
+        assert buf.offer(0, b"abc") == 6
+        assert buf.read() == b"abcdef"
+        assert not buf.has_gap()
+
+    def test_duplicate_and_overlap_trimmed(self):
+        buf = ReceiveBuffer(rcv_nxt=0)
+        buf.offer(0, b"abcd")
+        assert buf.offer(0, b"abcd") == 0     # pure duplicate
+        assert buf.offer(2, b"cdEF") == 2     # overlap trimmed
+        assert buf.read() == b"abcdEF"
+
+    def test_window_shrinks_with_unread_data(self):
+        buf = ReceiveBuffer(rcv_nxt=0, capacity=100)
+        buf.offer(0, b"x" * 60)
+        assert buf.window() == 40
+        buf.read()
+        assert buf.window() == 100
+
+    def test_ooo_data_counts_against_window(self):
+        buf = ReceiveBuffer(rcv_nxt=0, capacity=100)
+        buf.offer(50, b"y" * 30)
+        assert buf.window() == 70
+
+    def test_partial_read(self):
+        buf = ReceiveBuffer(rcv_nxt=0)
+        buf.offer(0, b"abcdef")
+        assert buf.read(2) == b"ab"
+        assert buf.read(100) == b"cdef"
+
+    def test_sack_blocks_merged_and_highest_first(self):
+        buf = ReceiveBuffer(rcv_nxt=0)
+        buf.offer(10, b"aa")
+        buf.offer(12, b"bb")     # merges with previous
+        buf.offer(30, b"cc")
+        blocks = buf.sack_blocks()
+        assert blocks[0] == (30, 32)
+        assert blocks[1] == (10, 14)
+
+
+segments = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 20)),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=200)
+@given(segments)
+def test_property_any_arrival_order_reassembles(spans):
+    """Whatever overlapping/duplicated segments arrive, the delivered
+    bytestream is exactly the in-order prefix of the original data."""
+    original = bytes(range(256)) * 1
+    data = (original * 2)[:80]
+    buf = ReceiveBuffer(rcv_nxt=0)
+    delivered = bytearray()
+    covered = set()
+    for offset, length in spans:
+        piece = data[offset:offset + length]
+        if not piece:
+            continue
+        buf.offer(offset, piece)
+        covered.update(range(offset, offset + len(piece)))
+        delivered += buf.read()
+    # The readable prefix must be the longest contiguous run from 0.
+    expected_len = 0
+    while expected_len in covered:
+        expected_len += 1
+    assert len(delivered) == expected_len
+    assert bytes(delivered) == data[:expected_len]

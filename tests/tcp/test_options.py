@@ -1,0 +1,96 @@
+"""TCP option wire codecs."""
+
+import pytest
+
+from repro.tcp.options import (
+    ExperimentalOption,
+    FastOpenOption,
+    MAX_OPTIONS_BYTES,
+    MssOption,
+    SackOption,
+    SackPermittedOption,
+    TimestampOption,
+    UnknownOption,
+    UserTimeoutOption,
+    WindowScaleOption,
+    decode_options,
+    encode_options,
+)
+
+
+def roundtrip(options):
+    return decode_options(encode_options(options))
+
+
+def test_mss_roundtrip():
+    (out,) = roundtrip([MssOption(1460)])
+    assert isinstance(out, MssOption) and out.mss == 1460
+
+
+def test_window_scale_roundtrip():
+    (out,) = roundtrip([WindowScaleOption(7)])
+    assert out.shift == 7
+
+
+def test_sack_permitted_roundtrip():
+    (out,) = roundtrip([SackPermittedOption()])
+    assert isinstance(out, SackPermittedOption)
+
+
+def test_sack_blocks_roundtrip():
+    (out,) = roundtrip([SackOption([(1000, 2000), (5000, 6460)])])
+    assert out.blocks == ((1000, 2000), (5000, 6460))
+
+
+def test_timestamp_roundtrip():
+    (out,) = roundtrip([TimestampOption(123456, 654321)])
+    assert (out.ts_val, out.ts_ecr) == (123456, 654321)
+
+
+def test_user_timeout_seconds_and_minutes():
+    (out,) = roundtrip([UserTimeoutOption(30)])
+    assert out.timeout_seconds == 30 and not out.granularity_minutes
+    (out,) = roundtrip([UserTimeoutOption(600, granularity_minutes=True)])
+    assert out.timeout_seconds == 600 and out.granularity_minutes
+
+
+def test_fast_open_roundtrip():
+    (out,) = roundtrip([FastOpenOption(b"\x01" * 8)])
+    assert out.cookie == b"\x01" * 8
+    (out,) = roundtrip([FastOpenOption()])
+    assert out.cookie == b""
+
+
+def test_experimental_roundtrip():
+    (out,) = roundtrip([ExperimentalOption(0xABCD, b"hi")])
+    assert (out.exid, out.data) == (0xABCD, b"hi")
+
+
+def test_unknown_option_preserved():
+    (out,) = roundtrip([UnknownOption(99, b"zz")])
+    assert isinstance(out, UnknownOption)
+    assert (out.kind, out.data) == (99, b"zz")
+
+
+def test_multiple_options_order_preserved():
+    options = [MssOption(1400), WindowScaleOption(3), SackPermittedOption()]
+    assert [o.kind for o in roundtrip(options)] == [2, 3, 4]
+
+
+def test_nop_padding_to_word_boundary():
+    raw = encode_options([WindowScaleOption(2)])  # 3 bytes -> pad to 4
+    assert len(raw) % 4 == 0
+
+
+def test_forty_byte_limit_enforced():
+    too_many = [TimestampOption(1, 2)] * 5  # 5 * 10 = 50 bytes
+    with pytest.raises(ValueError):
+        encode_options(too_many)
+    # This is exactly the constraint TCPLS escapes (paper Sec. 3):
+    # the same options inside a TLS record have no such limit.
+
+
+def test_decode_rejects_truncation():
+    raw = encode_options([MssOption(1460)])
+    with pytest.raises(ValueError):
+        decode_options(raw[:-3] + b"\x02\x09")  # bad length

@@ -1,0 +1,47 @@
+"""TCP segment value semantics and sizing."""
+
+import pytest
+
+from repro.tcp.options import MssOption, TimestampOption
+from repro.tcp.segment import Segment
+
+
+def test_wire_size_accounts_header_options_payload():
+    seg = Segment(1, 2, payload=b"12345")
+    assert seg.wire_size() == 20 + 5
+    seg = Segment(1, 2, options=(MssOption(1460),), payload=b"12345")
+    assert seg.wire_size() == 20 + 4 + 5  # MSS option padded to 4
+
+
+def test_seq_space_counts_syn_and_fin():
+    assert Segment(1, 2, flags={"SYN"}).seq_space() == 1
+    assert Segment(1, 2, flags={"FIN"}, payload=b"ab").seq_space() == 3
+    assert Segment(1, 2, seq=100, payload=b"abc").end_seq == 103
+
+
+def test_invalid_flags_rejected():
+    with pytest.raises(ValueError):
+        Segment(1, 2, flags={"SYN", "BOGUS"})
+
+
+def test_replace_returns_independent_copy():
+    seg = Segment(1, 2, seq=10, payload=b"orig",
+                  options=(TimestampOption(1, 2),))
+    other = seg.replace(payload=b"new!", seq=20)
+    assert seg.payload == b"orig" and seg.seq == 10
+    assert other.payload == b"new!" and other.seq == 20
+    assert other.options == seg.options
+    assert other.src_port == 1
+
+
+def test_find_option():
+    seg = Segment(1, 2, options=(MssOption(1200), TimestampOption(5, 6)))
+    assert seg.find_option(2).mss == 1200
+    assert seg.find_option(8).ts_val == 5
+    assert seg.find_option(99) is None
+
+
+def test_flag_helpers():
+    seg = Segment(1, 2, flags={"SYN", "ACK"})
+    assert seg.is_syn and seg.is_ack
+    assert not seg.is_fin and not seg.is_rst

@@ -1,0 +1,124 @@
+"""Extension codec and the key schedule."""
+
+import pytest
+
+from repro.crypto.aead import NullTagCipher
+from repro.net.address import IPAddress
+from repro.tls.extensions import (
+    Extension,
+    decode_address_list,
+    decode_cookie_list,
+    decode_extensions,
+    decode_tcpls_join,
+    encode_address_list,
+    encode_cookie_list,
+    encode_extensions,
+    encode_tcpls_join,
+    find_extension,
+)
+from repro.tls.keyschedule import KeySchedule
+
+
+class TestExtensionCodec:
+    def test_roundtrip(self):
+        extensions = [Extension(43, b"\x03\x04"), Extension(0xFA01, b"")]
+        decoded, offset = decode_extensions(
+            encode_extensions(extensions), 0
+        )
+        assert decoded == extensions
+
+    def test_find(self):
+        extensions = [Extension(1, b"a"), Extension(2, b"b")]
+        assert find_extension(extensions, 2).data == b"b"
+        assert find_extension(extensions, 3) is None
+
+    def test_truncated_vector_rejected(self):
+        raw = encode_extensions([Extension(1, b"abc")])
+        with pytest.raises(ValueError):
+            decode_extensions(raw[:-1], 0)
+
+    def test_join_payload(self):
+        sessid, cookie = b"S" * 16, b"C" * 16
+        assert decode_tcpls_join(encode_tcpls_join(sessid, cookie)) == (
+            sessid, cookie)
+        with pytest.raises(ValueError):
+            encode_tcpls_join(b"short", cookie)
+        with pytest.raises(ValueError):
+            decode_tcpls_join(b"x" * 31)
+
+    def test_cookie_list(self):
+        cookies = [bytes([i]) * 16 for i in range(5)]
+        assert decode_cookie_list(encode_cookie_list(cookies)) == cookies
+        with pytest.raises(ValueError):
+            encode_cookie_list([b"short"])
+        with pytest.raises(ValueError):
+            decode_cookie_list(b"\x00\x10" + b"x" * 15)
+
+    def test_address_list_mixed_families(self):
+        addresses = [IPAddress("10.0.0.2"), IPAddress("fd01::2")]
+        decoded = decode_address_list(encode_address_list(addresses))
+        assert decoded == addresses
+
+
+class TestKeySchedule:
+    def make(self, psk=b"p"):
+        return KeySchedule(NullTagCipher, psk=psk)
+
+    def run_through(self, schedule):
+        schedule.update_transcript(b"\x01fake-client-hello")
+        schedule.update_transcript(b"\x02fake-server-hello")
+        schedule.derive_handshake(b"D" * 256)
+        schedule.update_transcript(b"\x08fake-ee")
+        schedule.derive_application()
+        return schedule
+
+    def test_mirrored_schedules_agree(self):
+        a = self.run_through(self.make())
+        b = self.run_through(self.make())
+        assert a.client_application.key == b.client_application.key
+        assert a.server_application.key == b.server_application.key
+
+    def test_transcript_divergence_changes_keys(self):
+        a = self.make()
+        b = self.make()
+        a.update_transcript(b"\x01hello")
+        b.update_transcript(b"\x01HELLO")
+        a.derive_handshake(b"D" * 256)
+        b.derive_handshake(b"D" * 256)
+        assert a.client_handshake.key != b.client_handshake.key
+
+    def test_psk_changes_all_secrets(self):
+        a = self.run_through(self.make(b"psk-one"))
+        b = self.run_through(self.make(b"psk-two"))
+        assert a.client_application.key != b.client_application.key
+
+    def test_handshake_keys_not_in_application_context(self):
+        """Paper Sec. 3.2: the handshake key is not part of the context
+        used to derive the application key -- the master secret chains
+        from the handshake *secret*, so the traffic keys differ."""
+        schedule = self.run_through(self.make())
+        assert schedule.client_handshake.key != \
+            schedule.client_application.key
+        assert schedule.handshake_secret != schedule.master_secret
+
+    def test_application_before_handshake_rejected(self):
+        with pytest.raises(RuntimeError):
+            self.make().derive_application()
+
+    def test_finished_covers_transcript(self):
+        schedule = self.run_through(self.make())
+        before = schedule.finished_verify_data(
+            schedule.server_handshake.secret
+        )
+        schedule.update_transcript(b"\x14more")
+        after = schedule.finished_verify_data(
+            schedule.server_handshake.secret
+        )
+        assert before != after
+
+    def test_early_traffic_keys(self):
+        schedule = self.make(b"resumption-psk")
+        schedule.update_transcript(b"\x01ch")
+        keys = schedule.derive_early_traffic()
+        assert len(keys.key) == NullTagCipher.key_size
+        assert len(keys.iv) == 12

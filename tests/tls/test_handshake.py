@@ -1,0 +1,159 @@
+"""TLS 1.3 handshake machines: completion, keys, extensions, failure."""
+
+import random
+
+import pytest
+
+from repro.tls import TlsClient, TlsError, TlsServer
+from repro.tls.extensions import (
+    EXT_TCPLS_HELLO,
+    Extension,
+)
+from repro.tls.record import TlsRecordError
+
+
+def pump(client, server, rounds=10):
+    for _ in range(rounds):
+        moved = False
+        data = client.data_to_send()
+        if data:
+            server.feed(data)
+            moved = True
+        data = server.data_to_send()
+        if data:
+            client.feed(data)
+            moved = True
+        if not moved:
+            return
+
+
+def handshake(client_kwargs=None, server_kwargs=None, psk=b"psk"):
+    client = TlsClient(psk, random.Random(1), **(client_kwargs or {}))
+    server = TlsServer(psk, random.Random(2), **(server_kwargs or {}))
+    client.start()
+    pump(client, server)
+    return client, server
+
+
+@pytest.mark.parametrize("suite", ["null-tag", "chacha20poly1305",
+                                   "aes128gcm"])
+def test_handshake_completes_each_suite(suite):
+    client, server = handshake({"cipher_names": (suite,)},
+                               {"cipher_names": (suite,)})
+    assert client.handshake_complete and server.handshake_complete
+    assert client.negotiated_cipher == suite
+    assert server.negotiated_cipher == suite
+
+
+def test_application_keys_agree():
+    client, server = handshake()
+    cs, ss = client.schedule, server.schedule
+    assert cs.client_application.key == ss.client_application.key
+    assert cs.server_application.key == ss.server_application.key
+    assert cs.client_application.key != cs.server_application.key
+    assert cs.master_secret == ss.master_secret
+
+
+def test_application_data_both_directions():
+    client, server = handshake()
+    to_server, to_client = [], []
+    server.on_application_data = lambda s, d: to_server.append(d)
+    client.on_application_data = lambda s, d: to_client.append(d)
+    client.send_application_data(b"request")
+    pump(client, server)
+    server.send_application_data(b"response")
+    pump(client, server)
+    assert b"".join(to_server) == b"request"
+    assert b"".join(to_client) == b"response"
+
+
+def test_large_application_data_chunked_into_records():
+    client, server = handshake()
+    got = []
+    server.on_application_data = lambda s, d: got.append(d)
+    client.send_application_data(b"z" * 50000)  # > 3 records
+    pump(client, server)
+    assert len(got) >= 4
+    assert b"".join(got) == b"z" * 50000
+
+
+def test_psk_mismatch_fails_finished():
+    client = TlsClient(b"psk-A", random.Random(1))
+    server = TlsServer(b"psk-B", random.Random(2))
+    client.start()
+    with pytest.raises((TlsError, TlsRecordError)):
+        pump(client, server)
+    assert not client.handshake_complete
+
+
+def test_extra_extension_reaches_server_and_answer_comes_back():
+    seen = []
+
+    def ee_fn(client_hello):
+        ext = client_hello.find_extension(EXT_TCPLS_HELLO)
+        seen.append(ext)
+        if ext is not None:
+            return [Extension(EXT_TCPLS_HELLO, b"ack")]
+        return []
+
+    client, server = handshake(
+        {"extra_extensions": [Extension(EXT_TCPLS_HELLO, b"")]},
+        {"encrypted_extensions_fn": ee_fn},
+    )
+    assert seen[0] is not None
+    answers = [e for e in client.peer_encrypted_extensions
+               if e.ext_type == EXT_TCPLS_HELLO]
+    assert answers and answers[0].data == b"ack"
+
+
+def test_strict_server_aborts_on_unknown_extension():
+    """The legacy-server behaviour of Sec. 5.2: connection dies, which
+    triggers the client's explicit fallback."""
+    client = TlsClient(b"psk", random.Random(1),
+                       extra_extensions=[Extension(EXT_TCPLS_HELLO, b"")])
+    server = TlsServer(b"psk", random.Random(2), strict_extensions=True)
+    client.start()
+    with pytest.raises(TlsError):
+        pump(client, server)
+
+
+def test_zero_rtt_early_data():
+    early = []
+    server = TlsServer(b"psk", random.Random(2))
+    server.on_application_data = lambda s, d: early.append(d)
+    client = TlsClient(b"psk", random.Random(1), early_data=b"0rtt GET /")
+    client.start()
+    pump(client, server)
+    assert client.handshake_complete
+    assert b"".join(early) == b"0rtt GET /"
+
+
+def test_no_common_cipher_suite():
+    client = TlsClient(b"psk", random.Random(1),
+                       cipher_names=("aes128gcm",))
+    server = TlsServer(b"psk", random.Random(2),
+                       cipher_names=("chacha20poly1305",))
+    client.start()
+    with pytest.raises(TlsError):
+        pump(client, server)
+
+
+def test_server_picks_preferred_common_suite():
+    client = TlsClient(b"psk", random.Random(1),
+                       cipher_names=("null-tag", "aes128gcm"))
+    server = TlsServer(b"psk", random.Random(2),
+                       cipher_names=("aes128gcm", "null-tag"))
+    client.start()
+    pump(client, server)
+    assert server.negotiated_cipher == "aes128gcm"
+
+
+def test_tampered_handshake_record_fails():
+    client = TlsClient(b"psk", random.Random(1))
+    server = TlsServer(b"psk", random.Random(2))
+    client.start()
+    server.feed(client.data_to_send())
+    flight = bytearray(server.data_to_send())
+    flight[-1] ^= 0xFF  # corrupt the (encrypted) server Finished
+    with pytest.raises((TlsError, TlsRecordError)):
+        client.feed(bytes(flight))
