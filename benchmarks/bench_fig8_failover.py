@@ -4,6 +4,11 @@ Two disjoint paths (25 Mbps / 10 ms), backup-style second path.  At
 t = 3 s the active path either blackholes or receives a spurious RST.
 The figure is the goodput-over-time series; the numbers that matter are
 the recovery gaps.
+
+Outages are driven through the deterministic fault layer
+(:mod:`repro.net.scenario` via :class:`FaultyTopology`), so two runs
+with the same seed replay the identical failure and produce identical
+metrics — ``tests/net/test_bench_scenarios.py`` asserts that.
 """
 
 from conftest import run_once
@@ -15,8 +20,7 @@ from common import (
     fmt_series,
     scaled,
 )
-from repro.net import Simulator, build_multipath
-from repro.net.middlebox import RstInjector
+from repro.net import Simulator, build_faulty_multipath
 
 SIZE = scaled(40 << 20)
 OUTAGE_AT = 3.0
@@ -37,32 +41,30 @@ def recovery_gap(series, outage_at=OUTAGE_AT, threshold=5.0):
     return float("inf")
 
 
-def run_tcpls(outage):
+def run_tcpls(outage, outage_at=None):
+    outage_at = OUTAGE_AT if outage_at is None else outage_at
     sim = Simulator(seed=8)
-    topo = build_multipath(sim, n_paths=2)
+    topo = build_faulty_multipath(sim, n_paths=2)
     client, sessions, probe, done = build_tcpls_download(sim, topo, SIZE)
     if outage == "blackhole":
-        topo.path(0).blackhole(sim, OUTAGE_AT)
+        topo.flap_path(0, at=outage_at)
     else:
-        injector = RstInjector()
-        topo.path(0).s2c.add_middlebox(injector)
-        injector.schedule_rst(sim, OUTAGE_AT)
+        topo.rst_path(0, at=outage_at, direction="s2c")
     sim.run(until=60)
     assert done, "TCPLS transfer did not finish"
     return probe.series(), done[0]
 
 
-def run_mptcp(outage):
+def run_mptcp(outage, outage_at=None):
+    outage_at = OUTAGE_AT if outage_at is None else outage_at
     sim = Simulator(seed=8)
-    topo = build_multipath(sim, n_paths=2)
+    topo = build_faulty_multipath(sim, n_paths=2)
     client, probe, done = build_mptcp_upload(sim, topo, SIZE,
                                              path_manager="backup")
     if outage == "blackhole":
-        topo.path(0).blackhole(sim, OUTAGE_AT)
+        topo.flap_path(0, at=outage_at)
     else:
-        injector = RstInjector()
-        topo.path(0).c2s.add_middlebox(injector)
-        injector.schedule_rst(sim, OUTAGE_AT)
+        topo.rst_path(0, at=outage_at, direction="c2s")
     sim.run(until=60)
     assert done, "MPTCP transfer did not finish"
     return probe.series(), done[0]

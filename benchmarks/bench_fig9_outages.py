@@ -5,6 +5,10 @@ rotates every 5 seconds so each stack must *find* it before recovering.
 The paper's result: MPTCP handles the first failure well but needs
 several seconds for the following ones; TCPLS finds the right path
 quickly every time and finishes the transfer sooner.
+
+The rotation is scripted with ``FaultyTopology.rotate_working`` — the
+deterministic fault layer — so identical seeds replay the identical
+outage pattern (asserted by ``tests/net/test_bench_scenarios.py``).
 """
 
 from conftest import run_once
@@ -16,7 +20,7 @@ from common import (
     fmt_series,
     scaled,
 )
-from repro.net import Simulator, build_multipath
+from repro.net import Simulator, build_faulty_multipath
 
 SIZE = scaled(60 << 20)
 ROTATE_EVERY = 5.0
@@ -24,46 +28,30 @@ N_PATHS = 4
 HORIZON = 120.0
 
 
-def schedule_rotation(sim, topo):
-    """Blackhole all paths except a rotating working one."""
-    def set_working(index):
-        for path in topo.paths:
-            path.set_blackholed(path.index != index)
-
-    set_working(0)
-    step = 1
-
-    def rotate():
-        nonlocal step
-        set_working(step % N_PATHS)
-        step += 1
-        sim.schedule(ROTATE_EVERY, rotate)
-
-    sim.schedule(ROTATE_EVERY, rotate)
-
-
-def run_tcpls():
+def run_tcpls(rotate_every=None):
+    rotate_every = ROTATE_EVERY if rotate_every is None else rotate_every
     sim = Simulator(seed=9)
-    topo = build_multipath(sim, n_paths=N_PATHS,
-                           families=[4, 6, 4, 6])
+    topo = build_faulty_multipath(sim, n_paths=N_PATHS,
+                                  families=[4, 6, 4, 6])
     client, sessions, probe, done = build_tcpls_download(
         sim, topo, SIZE, uto=None,
         client_kwargs={"join_timeout": 0.5},
     )
     client.auto_user_timeout = 0.25
-    schedule_rotation(sim, topo)
+    topo.rotate_working(rotate_every)
     sim.run(until=HORIZON)
     return probe.series(), (done[0] if done else None), probe.total
 
 
-def run_mptcp():
+def run_mptcp(rotate_every=None):
+    rotate_every = ROTATE_EVERY if rotate_every is None else rotate_every
     sim = Simulator(seed=9)
-    topo = build_multipath(sim, n_paths=N_PATHS,
-                           families=[4, 6, 4, 6])
+    topo = build_faulty_multipath(sim, n_paths=N_PATHS,
+                                  families=[4, 6, 4, 6])
     client, probe, done = build_mptcp_upload(sim, topo, SIZE,
                                              path_manager="fullmesh",
                                              n_paths=N_PATHS)
-    schedule_rotation(sim, topo)
+    topo.rotate_working(rotate_every)
     sim.run(until=HORIZON)
     return probe.series(), (done[0] if done else None), probe.total
 

@@ -12,7 +12,7 @@ Run:  python examples/resilient_file_transfer.py
 """
 
 from repro.core import TcplsClient, TcplsServer
-from repro.net import Simulator, build_multipath
+from repro.net import Simulator, build_faulty_multipath
 from repro.net.address import Endpoint
 from repro.tcp import TcpStack
 
@@ -23,7 +23,8 @@ OUTAGE_AT = 2.5
 
 def main():
     sim = Simulator(seed=5)
-    topo = build_multipath(sim, n_paths=2)   # 2 x 25 Mbps disjoint paths
+    # 2 x 25 Mbps disjoint paths, with a fault-scenario layer attached.
+    topo = build_faulty_multipath(sim, n_paths=2)
     client_stack = TcpStack(sim, topo.client)
     server_stack = TcpStack(sim, topo.server)
 
@@ -77,9 +78,10 @@ def main():
     path0 = topo.path(0)
     client.connect(path0.client_addr, Endpoint(path0.server_addr, 443))
 
-    # One path dies mid-transfer.
+    # One path dies mid-transfer — scripted through the deterministic
+    # fault layer, so every run replays the exact same outage.
     print("[net]    path 0 will blackhole at t=%.1fs" % OUTAGE_AT)
-    path0.blackhole(sim, OUTAGE_AT)
+    topo.flap_path(0, at=OUTAGE_AT)
     sim.run(until=30)
 
     assert finished, "transfer did not complete"

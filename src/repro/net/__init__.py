@@ -24,15 +24,36 @@ from repro.net.middlebox import (
     Resegmenter,
     StatefulFirewall,
 )
-from repro.net.topology import MultipathTopology, build_multipath
+from repro.net.faults import (
+    BitCorruption,
+    BlackholeFault,
+    Fault,
+    GilbertElliott,
+    LatencySpike,
+    LinkFlap,
+)
+from repro.net.scenario import Scenario
+from repro.net.topology import (
+    FaultyTopology,
+    MultipathTopology,
+    build_faulty_multipath,
+    build_multipath,
+)
 
 __all__ = [
+    "BitCorruption",
     "Blackhole",
+    "BlackholeFault",
     "Endpoint",
+    "Fault",
+    "FaultyTopology",
+    "GilbertElliott",
     "Host",
     "IPAddress",
     "Interface",
+    "LatencySpike",
     "Link",
+    "LinkFlap",
     "Middlebox",
     "MultipathTopology",
     "NAT",
@@ -41,8 +62,10 @@ __all__ = [
     "Resegmenter",
     "Router",
     "RstInjector",
+    "Scenario",
     "Simulator",
     "StatefulFirewall",
+    "build_faulty_multipath",
     "build_multipath",
     "duplex_link",
 ]

@@ -9,20 +9,42 @@ in the congestion experiments.
 
 Middleboxes (see :mod:`repro.net.middlebox`) are attached to links and
 get a chance to drop, mutate, or inject packets between serialization
-and delivery.
+and delivery.  Faults (see :mod:`repro.net.faults`) are consulted at
+send time and again at delivery, and model the network itself
+misbehaving: flaps, bursty loss, corruption, latency spikes.
+
+Every packet that dies on a link — administrative down, fault, random
+loss, full queue, or middlebox — is booked in
+``LinkStats.dropped_packets``/``dropped_bytes`` and itemised by reason
+in ``LinkStats.drop_reasons``, so goodput probes and loss accounting
+stay truthful no matter which layer killed the packet.
 """
+
+from repro.net import faults as _faults
 
 
 class LinkStats:
-    """Counters exported by every link, used by goodput probes."""
+    """Counters exported by every link, used by goodput probes.
 
-    __slots__ = ("tx_packets", "tx_bytes", "dropped_packets", "dropped_bytes")
+    ``drop_reasons`` itemises ``dropped_packets`` by cause: ``"down"``
+    (administrative), ``"loss"`` (i.i.d. random loss), ``"queue"``
+    (drop-tail overflow), ``"middlebox"``, or a fault's ``kind``
+    (``"flap"``, ``"blackhole"``, ``"burst-loss"``, ``"corruption"``).
+    """
+
+    __slots__ = ("tx_packets", "tx_bytes", "dropped_packets",
+                 "dropped_bytes", "drop_reasons")
 
     def __init__(self):
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self.drop_reasons = {}
+
+    def dropped_by(self, reason):
+        """Packets dropped for ``reason`` (0 if none were)."""
+        return self.drop_reasons.get(reason, 0)
 
 
 class Link:
@@ -68,6 +90,7 @@ class Link:
         self.name = name
         self.stats = LinkStats()
         self.middleboxes = []
+        self.faults = []
         self.up = True
         self._sink = None
         self._queued_bytes = 0
@@ -82,6 +105,17 @@ class Link:
         self.middleboxes.append(box)
         box.attach(self)
 
+    def add_fault(self, fault):
+        """Attach a fault model (see :mod:`repro.net.faults`).
+
+        Faults run in attachment order at ``send()``; outage-style
+        faults are re-checked at delivery so they also kill in-flight
+        packets.
+        """
+        self.faults.append(fault)
+        fault.attach(self)
+        return fault
+
     def set_up(self, up):
         """Administratively enable/disable the link (interface hotplug)."""
         self.up = up
@@ -89,7 +123,7 @@ class Link:
     def send(self, packet):
         """Entry point for the transmitting node."""
         if not self.up:
-            self._drop(packet)
+            self._drop(packet, "down")
             return
         size = packet.wire_size()
         if size > self.mtu + 40:
@@ -98,22 +132,35 @@ class Link:
                 "packet of %d B exceeds link MTU %d on %s"
                 % (size, self.mtu, self.name or "link")
             )
+        fault_delay = 0.0
+        if self.faults:
+            now = self.sim.now
+            for fault in self.faults:
+                verdict = fault.filter(packet, now)
+                if verdict is None:
+                    continue
+                if verdict is _faults.DROP:
+                    self._drop(packet, fault.kind)
+                    return
+                fault_delay += verdict
+            size = packet.wire_size()  # corruption may have resized it
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-            self._drop(packet)
+            self._drop(packet, "loss")
             return
         if self.rate_bps is None:
-            self.sim.schedule(self.delay + self._jitter_sample(),
+            self.sim.schedule(self.delay + fault_delay + self._jitter_sample(),
                               self._deliver, packet)
             return
         now = self.sim.now
         backlog = max(self._busy_until - now, 0.0)
         queued = backlog * self.rate_bps / 8.0
         if self.queue_bytes is not None and queued + size > self.queue_bytes:
-            self._drop(packet)
+            self._drop(packet, "queue")
             return
         serialization = size * 8.0 / self.rate_bps
         self._busy_until = max(self._busy_until, now) + serialization
-        arrival = self._busy_until + self.delay + self._jitter_sample()
+        arrival = (self._busy_until + self.delay + fault_delay
+                   + self._jitter_sample())
         # Jitter must not reorder the FIFO pipe; schedule at an absolute
         # time (re-deriving it from a delay loses ULPs and can land one
         # tick before the previous packet).
@@ -126,18 +173,28 @@ class Link:
             return 0.0
         return self.sim.rng.random() * self.jitter
 
-    def _drop(self, packet):
+    def _drop(self, packet, reason="loss"):
         self.stats.dropped_packets += 1
         self.stats.dropped_bytes += packet.wire_size()
+        reasons = self.stats.drop_reasons
+        reasons[reason] = reasons.get(reason, 0) + 1
 
     def _deliver(self, packet):
         if not self.up:
-            self._drop(packet)
+            self._drop(packet, "down")
             return
+        if self.faults:
+            now = self.sim.now
+            for fault in self.faults:
+                if fault.at_delivery(packet, now) is _faults.DROP:
+                    self._drop(packet, fault.kind)
+                    return
         for box in self.middleboxes:
-            packet = box.process(packet)
-            if packet is None:
+            processed = box.process(packet)
+            if processed is None:
+                self._drop(packet, "middlebox")
                 return
+            packet = processed
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.wire_size()
         if self._sink is not None:

@@ -12,6 +12,7 @@ from repro.net.address import IPAddress
 from repro.net.host import Host
 from repro.net.link import duplex_link
 from repro.net.middlebox import Blackhole
+from repro.net.scenario import Scenario
 
 
 class PathInfo:
@@ -68,6 +69,110 @@ class MultipathTopology:
     def client_endpoint_pairs(self):
         """(client_addr, server_addr) per path, in path order."""
         return [(p.client_addr, p.server_addr) for p in self.paths]
+
+
+class FaultyTopology(MultipathTopology):
+    """A multipath topology with a :class:`Scenario` pre-installed.
+
+    Adds per-path verbs for the adversity families of the evaluation:
+    hard outages (flaps / blackholes), rotating outages (Fig. 9),
+    spurious RSTs (Fig. 8), bursty loss and corruption.  All of them
+    delegate to the scenario, so every scripted fault is replayed
+    identically under the same simulator seed.
+    """
+
+    def __init__(self, sim, client, server, paths, scenario=None):
+        super().__init__(sim, client, server, paths)
+        self.scenario = (scenario or Scenario()).install(sim)
+
+    def path_links(self, index, direction="both"):
+        """Links of path ``index``: ``"c2s"``, ``"s2c"`` or ``"both"``."""
+        path = self.paths[index]
+        if direction == "both":
+            return [path.c2s, path.s2c]
+        return [getattr(path, direction)]
+
+    def flap_path(self, index, at, duration=None, direction="both"):
+        """Scripted outage on path ``index`` starting at ``at`` for
+        ``duration`` seconds (``None`` = forever)."""
+        end = None if duration is None else at + duration
+        for link in self.path_links(index, direction):
+            self.scenario.flap_fault(link).add_window(at, end)
+        return self
+
+    def set_path_down(self, index, down=True, direction="both"):
+        """Immediately force path ``index`` down (or back up)."""
+        for link in self.path_links(index, direction):
+            self.scenario.flap_fault(link).force(down)
+        return self
+
+    def rotate_working(self, period, start=0.0, order=None, until=None):
+        """Fig. 9's adversity: exactly one *working* path at a time,
+        advancing through ``order`` (default: path order) every
+        ``period`` seconds starting at ``start``."""
+        order = list(order) if order is not None else [
+            p.index for p in self.paths]
+        state = {"step": 0}
+
+        def advance():
+            working = order[state["step"] % len(order)]
+            for path in self.paths:
+                self.set_path_down(path.index, path.index != working)
+            state["step"] += 1
+
+        self.scenario.at(start).call(advance)
+        self.scenario.every(period, start=start + period,
+                            until=until).call(advance)
+        return self
+
+    def rst_path(self, index, at, direction="s2c", match=None):
+        """Arm a one-shot spurious RST on path ``index`` at ``at``;
+        returns the injector middlebox."""
+        (link,) = self.path_links(index, direction)
+        return self.scenario.at(at).rst(link, match=match)
+
+    def burst_loss(self, index, p_gb, p_bg, t0=0.0, t1=None,
+                   loss_good=0.0, loss_bad=1.0, seed=None,
+                   direction="both"):
+        """Gilbert–Elliott bursty loss on path ``index`` during
+        ``[t0, t1)``; returns the attached fault objects."""
+        faults = []
+        for link in self.path_links(index, direction):
+            faults.extend(
+                self.scenario.between(t0, t1).gilbert(
+                    link, p_gb, p_bg, loss_good=loss_good,
+                    loss_bad=loss_bad, seed=seed))
+        return faults
+
+    def corrupt_path(self, index, rate, t0=0.0, t1=None, mode="drop",
+                     seed=None, direction="both"):
+        """Bit corruption on path ``index`` during ``[t0, t1)``."""
+        faults = []
+        for link in self.path_links(index, direction):
+            faults.extend(
+                self.scenario.between(t0, t1).corrupt(
+                    link, rate, mode=mode, seed=seed))
+        return faults
+
+    def fault_drops(self, index=None):
+        """Total fault-layer drops, per path or across the topology."""
+        paths = self.paths if index is None else [self.paths[index]]
+        total = 0
+        for path in paths:
+            for link in (path.c2s, path.s2c):
+                for reason, n in link.stats.drop_reasons.items():
+                    if reason in ("flap", "blackhole", "burst-loss",
+                                  "corruption"):
+                        total += n
+        return total
+
+
+def build_faulty_multipath(sim, scenario=None, **kwargs):
+    """:func:`build_multipath`, wrapped in a :class:`FaultyTopology`
+    with ``scenario`` (a fresh one by default) installed on ``sim``."""
+    topo = build_multipath(sim, **kwargs)
+    return FaultyTopology(sim, topo.client, topo.server, topo.paths,
+                          scenario=scenario)
 
 
 def build_multipath(sim, n_paths=2, rate_bps=25_000_000, delay=0.010,

@@ -1,0 +1,188 @@
+"""TCPLS failover under scripted fault scenarios.
+
+Fig. 8's claim, pinned down adversarially: a session survives a
+scripted primary-path flap no matter *when* it lands — during
+steady-state transfer, while a join handshake is in flight, or in the
+middle of an application-triggered migration — and application bytes
+are delivered exactly once and in order per stream.
+"""
+
+import pytest
+
+from helpers import PSK, connect_tcpls, tcpls_pair
+
+from repro.core import TcplsClient, TcplsServer
+from repro.net import Simulator, build_faulty_multipath
+from repro.net.address import Endpoint
+from repro.tcp import TcpStack
+
+pytestmark = pytest.mark.faults
+
+
+def make_faulty_net(n_paths=2, seed=7, **topo_kwargs):
+    """Like helpers.make_net but with the scenario-capable topology."""
+    sim = Simulator(seed=seed)
+    topo = build_faulty_multipath(sim, n_paths=n_paths, **topo_kwargs)
+    cstack = TcpStack(sim, topo.client)
+    sstack = TcpStack(sim, topo.server)
+    return sim, topo, cstack, sstack
+
+
+def download_setup(sim, topo, cstack, sstack, size, uto=0.25):
+    """Server pushes ``size`` patterned bytes; failover enabled."""
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    payload = bytes(range(256)) * (size // 256)
+    received = bytearray()
+    done = []
+
+    def on_session(sess):
+        sessions.append(sess)
+        sess.enable_failover()
+
+        def on_stream_data(stream):
+            if stream.recv().startswith(b"GET"):
+                out = sess.create_stream(sess.conns[0])
+                out.send(payload)
+                out.close()
+        sess.on_stream_data = on_stream_data
+
+    server.on_session = on_session
+
+    def on_client_stream(stream):
+        received.extend(stream.recv())
+        if len(received) >= len(payload) and not done:
+            done.append(sim.now)
+
+    client.on_stream_data = on_client_stream
+    connect_tcpls(sim, topo, client)
+    client.set_user_timeout(client.conns[0], uto)
+    client.create_stream(client.conns[0]).send(b"GET /file")
+    return client, sessions, payload, received, done
+
+
+def test_flap_during_steady_state_transfer():
+    sim, topo, cstack, sstack = make_faulty_net()
+    client, sessions, payload, received, done = download_setup(
+        sim, topo, cstack, sstack, 4 << 20)
+    failures = []
+    client.on_conn_failed = lambda c, r: failures.append((sim.now, r))
+    # Scripted finite flap: primary path dead for 2 s mid-transfer.
+    topo.flap_path(0, at=1.0, duration=2.0)
+    sim.run(until=20)
+    assert done, "transfer never completed"
+    assert bytes(received) == payload      # exactly once, in order
+    assert failures and failures[0][1] == "uto"
+    assert topo.path(0).c2s.stats.dropped_by("flap") > 0
+    assert topo.path(1).s2c.stats.tx_packets > 10  # moved to path 1
+
+
+def test_flap_during_mid_handshake_join():
+    """The flap lands while the join handshake on path 1 is in flight;
+    the session must keep the primary alive and the stream intact."""
+    sim, topo, cstack, sstack = make_faulty_net()
+    client, sessions, payload, received, done = download_setup(
+        sim, topo, cstack, sstack, 2 << 20)
+    join_at = sim.now + 0.05
+    sim.at(join_at, client.join, topo.path(1).client_addr)
+    # Kill the join path just as the handshake starts, for 1 s.
+    topo.flap_path(1, at=join_at + 0.005, duration=1.0)
+    sim.run(until=20)
+    assert done, "transfer never completed"
+    assert bytes(received) == payload
+    assert client.ready
+    assert topo.path(1).c2s.stats.dropped_by("flap") > 0
+
+
+def test_flap_during_concurrent_migration():
+    """Fig. 10-style coupled-group migration with the *source* path
+    flapping inside the migration window: every byte still arrives
+    exactly once and in order."""
+    sim, topo, cstack, sstack = make_faulty_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    size = 2 << 20
+    payload = bytes(range(256)) * (size // 256)
+    received = bytearray()
+    done = []
+
+    def on_session(sess):
+        sessions.append(sess)
+        sess.enable_failover()
+
+        def on_stream_data(stream):
+            if stream.recv().startswith(b"GET"):
+                group = sess.create_coupled_group([sess.conns[0]])
+                sess.migration_group = group
+                group.send(payload)
+                group.close()
+        sess.on_stream_data = on_stream_data
+
+    server.on_session = on_session
+
+    def on_group_data(group):
+        received.extend(group.recv())
+        if group.complete and not done:
+            done.append(sim.now)
+
+    client.on_group_data = on_group_data
+    connect_tcpls(sim, topo, client)
+    client.set_user_timeout(client.conns[0], 0.25)
+    # Fig. 10 sequencing: request on the primary, join in parallel, so
+    # the group starts out on path 0.
+    client.create_stream(client.conns[0]).send(b"GET /file")
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.3)
+    assert len(client.conns) == 2 and client.conns[1].usable()
+
+    def migrate():
+        sess = sessions[0]
+        group = sess.migration_group
+        old = list(group.streams)
+        sess.add_group_stream(group, sess.conns[1])
+
+        def finish():
+            for stream in old:
+                sess.remove_group_stream(group, stream)
+        sim.schedule(0.4, finish)
+
+    migrate_at = sim.now + 0.2
+    sim.at(migrate_at, migrate)
+    # The path being migrated *away from* dies inside the window.
+    topo.flap_path(0, at=migrate_at + 0.1, duration=1.5)
+    sim.run(until=30)
+    assert done, "migration transfer never completed"
+    assert bytes(received) == payload      # exactly once, in order
+    assert topo.fault_drops(0) > 0         # the flap really bit
+
+
+def test_repeated_flaps_both_directions_scripted():
+    """Several finite outages in sequence via one Scenario: the session
+    fails over and (with the primary back) still finishes cleanly."""
+    sim, topo, cstack, sstack = make_faulty_net()
+    client, sessions, payload, received, done = download_setup(
+        sim, topo, cstack, sstack, 4 << 20)
+    topo.flap_path(0, at=1.0, duration=0.8)
+    topo.flap_path(1, at=4.0, duration=0.8)
+    sim.run(until=30)
+    assert done, "transfer never completed"
+    assert bytes(received) == payload
+
+
+def test_scenario_failover_run_is_seed_reproducible():
+    """The scripted-flap failover run is bit-for-bit reproducible: the
+    same seed gives identical completion times and link stats."""
+
+    def run():
+        sim, topo, cstack, sstack = make_faulty_net()
+        client, sessions, payload, received, done = download_setup(
+            sim, topo, cstack, sstack, 1 << 20)
+        topo.flap_path(0, at=0.5, duration=1.0)
+        sim.run(until=20)
+        assert done and bytes(received) == payload
+        stats = [
+            (link.stats.tx_packets, link.stats.dropped_packets,
+             dict(link.stats.drop_reasons))
+            for p in topo.paths for link in (p.c2s, p.s2c)
+        ]
+        return done[0], stats
+
+    assert run() == run()
