@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-obs bench trace-demo
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-obs:
+	$(PYTHON) -m pytest -m obs -q
+
+bench:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s --benchmark-only
+
+# Run the Fig. 8 failover scenario with the full observability stack
+# armed and write trace_failover.qlog (inspect with QVIS).
+trace-demo:
+	$(PYTHON) examples/trace_failover.py trace_failover.qlog

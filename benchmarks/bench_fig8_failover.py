@@ -18,6 +18,7 @@ from common import (
     build_mptcp_upload,
     build_tcpls_download,
     fmt_series,
+    maybe_trace,
     scaled,
 )
 from repro.net import Simulator, build_faulty_multipath
@@ -45,6 +46,7 @@ def run_tcpls(outage, outage_at=None):
     outage_at = OUTAGE_AT if outage_at is None else outage_at
     sim = Simulator(seed=8)
     topo = build_faulty_multipath(sim, n_paths=2)
+    maybe_trace(sim, "fig8_tcpls_%s" % outage)
     client, sessions, probe, done = build_tcpls_download(sim, topo, SIZE)
     if outage == "blackhole":
         topo.flap_path(0, at=outage_at)

@@ -18,6 +18,7 @@ from common import (
     build_mptcp_upload,
     build_tcpls_download,
     fmt_series,
+    maybe_trace,
     scaled,
 )
 from repro.net import Simulator, build_faulty_multipath
@@ -33,6 +34,7 @@ def run_tcpls(rotate_every=None):
     sim = Simulator(seed=9)
     topo = build_faulty_multipath(sim, n_paths=N_PATHS,
                                   families=[4, 6, 4, 6])
+    maybe_trace(sim, "fig9_tcpls")
     client, sessions, probe, done = build_tcpls_download(
         sim, topo, SIZE, uto=None,
         client_kwargs={"join_timeout": 0.5},

@@ -21,9 +21,51 @@ PSK = b"bench-psk"
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 
+#: directory for qlog traces; set by the ``--qlog`` pytest option (see
+#: conftest) or the REPRO_QLOG environment variable.  None = disabled.
+QLOG_DIR = os.environ.get("REPRO_QLOG") or None
+
+#: (tracer, filename) pairs pending a dump at session finish
+_PENDING_TRACES = []
+
+#: categories captured for benchmark traces — lifecycle + recovery +
+#: congestion dynamics, but not per-record events (a full-scale figure
+#: run seals hundreds of thousands of records)
+TRACE_CATEGORIES = ("session", "recovery", "tcp", "link")
+
 
 def scaled(size):
     return max(int(size * SCALE), 1 << 20)
+
+
+def maybe_trace(sim, name, categories=TRACE_CATEGORIES):
+    """Arm a qlog tracer on this run when ``--qlog``/REPRO_QLOG is set.
+
+    Returns the tracer (or None when tracing is disabled).  The trace
+    is written as ``<dir>/<name>.qlog`` once the pytest session ends.
+    """
+    if not QLOG_DIR:
+        return None
+    from repro.qlog import QlogTracer
+
+    tracer = QlogTracer(sim, title=name)
+    sim.bus.subscribe(tracer, categories=categories)
+    _PENDING_TRACES.append((tracer, "%s.qlog" % name))
+    return tracer
+
+
+def dump_traces():
+    """Write all pending traces; returns the paths written."""
+    if not _PENDING_TRACES:
+        return []
+    os.makedirs(QLOG_DIR, exist_ok=True)
+    paths = []
+    while _PENDING_TRACES:
+        tracer, filename = _PENDING_TRACES.pop(0)
+        path = os.path.join(QLOG_DIR, filename)
+        tracer.dump(path)
+        paths.append(path)
+    return paths
 
 
 class GoodputProbe:

@@ -13,6 +13,29 @@ import sys
 sys.path.insert(0, os.path.dirname(__file__))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--qlog", metavar="DIR", default=None,
+        help="write one qlog trace per instrumented experiment run into "
+             "DIR (equivalent to REPRO_QLOG=DIR); inspect with QVIS",
+    )
+
+
+def pytest_configure(config):
+    qlog_dir = config.getoption("--qlog", default=None)
+    if qlog_dir:
+        import common
+
+        common.QLOG_DIR = qlog_dir
+
+
+def pytest_sessionfinish(session, exitstatus):
+    import common
+
+    for path in common.dump_traces():
+        print("[qlog] wrote %s" % path)
+
+
 def run_once(benchmark, fn):
     """Execute an experiment exactly once under the benchmark fixture."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Trace a failover end to end and write a real qlog file.
+
+The Fig. 8 scenario — a two-path TCPLS download whose primary path
+blackholes mid-transfer — runs with the full observability stack armed:
+
+- a :class:`QlogTracer` subscribed to the event bus captures the
+  session/recovery/tcp/link event stream and writes
+  ``trace_failover.qlog`` (load it in QVIS, https://qvis.quictools.info);
+- every protocol invariant checker (monotone record sequences, nonce
+  uniqueness, cwnd sanity, failover legality, link conservation) is
+  armed via ``arm_invariants`` and must finish clean.
+
+Run:  python examples/trace_failover.py [output.qlog]
+"""
+
+import sys
+
+from repro.core import TcplsClient, TcplsServer
+from repro.net import Simulator, build_faulty_multipath
+from repro.net.address import Endpoint
+from repro.obs import arm_invariants
+from repro.qlog import QlogTracer
+from repro.tcp import TcpStack
+
+PSK = b"trace-psk"
+SIZE = 8 << 20   # 8 MiB download
+OUT = sys.argv[1] if len(sys.argv) > 1 else "trace_failover.qlog"
+
+
+def main():
+    sim = Simulator(seed=8)
+    topo = build_faulty_multipath(sim, n_paths=2)
+    p0, p1 = topo.path(0), topo.path(1)
+
+    # --- observability: qlog sink + armed invariants -----------------
+    tracer = QlogTracer(sim, title="fig8 failover")
+    sim.bus.subscribe(tracer,
+                      categories=("session", "recovery", "tcp", "link"))
+    harness = arm_invariants(sim)
+
+    # --- the Fig. 8 download -----------------------------------------
+    cstack = TcpStack(sim, topo.client)
+    sstack = TcpStack(sim, topo.server)
+    server = TcplsServer(sim, sstack, 443, psk=PSK)
+    client = TcplsClient(sim, cstack, psk=PSK)
+    received = bytearray()
+    finished = []
+
+    def on_session(sess):
+        sess.enable_failover()
+
+        def on_stream_data(stream):
+            if stream.recv().startswith(b"GET"):
+                out = sess.create_stream(sess.conns[0])
+                out.send(b"F" * SIZE)
+                out.close()
+        sess.on_stream_data = on_stream_data
+
+    server.on_session = on_session
+
+    def on_client_stream(stream):
+        received.extend(stream.recv())
+        if len(received) >= SIZE and not finished:
+            finished.append(sim.now)
+
+    client.on_stream_data = on_client_stream
+    client.on_ready = lambda s: (
+        client.set_user_timeout(client.conns[0], 0.25),
+        client.join(p1.client_addr),
+        client.create_stream(client.conns[0]).send(b"GET /file"),
+    )
+    client.connect(p0.client_addr, Endpoint(p0.server_addr, 443))
+
+    topo.flap_path(0, at=1.5, duration=2.0)      # the outage
+    sim.run(until=30)
+
+    assert finished, "download did not complete"
+    assert len(received) == SIZE
+    harness.assert_clean()                       # zero violations
+
+    tracer.dump(OUT)
+    key = [e for e in tracer.events
+           if e["event"] in ("ready", "join", "conn_failed", "failover",
+                             "sync_received", "replay")]
+    print("[done]   t=%.2fs  %d MiB delivered, invariants clean"
+          % (finished[0], SIZE >> 20))
+    for event in key:
+        print("[trace]  t=%7.1fms  %-14s %s"
+              % (event["time"], event["event"], event["data"]))
+    print("[qlog]   %d events -> %s (open in QVIS)"
+          % (len(tracer.events), OUT))
+
+
+if __name__ == "__main__":
+    main()

@@ -171,6 +171,10 @@ class TcplsClient(TcplsSession):
         # Flush the client Finished before any callback can queue
         # application records behind it.
         self._flush_tls(conn)
+        self._emit("session", "conn_established", {
+            "conn": conn.conn_id, "index": conn.index,
+            "local": str(conn.tcp.local), "remote": str(conn.tcp.remote),
+        })
         if conn.is_primary:
             self._complete_primary(conn)
         else:
@@ -203,6 +207,8 @@ class TcplsClient(TcplsSession):
         self._setup_keys(conn.tls.schedule, conn.tls.cipher_cls)
         self._install_control_stream(conn)
         self.ready = True
+        self._emit("session", "ready", {"tcpls": self.tcpls_enabled,
+                                        "fallback": self.fell_back})
         if self.tcpls_enabled and self.auto_user_timeout is not None:
             self.set_user_timeout(conn, self.auto_user_timeout)
         if self.on_ready is not None:
@@ -215,12 +221,16 @@ class TcplsClient(TcplsSession):
             # cancel the attachment and notify the application.
             conn.failed = True
             conn.tcp.abort()
+            self._emit("session", "conn_failed",
+                       {"conn": conn.conn_id, "reason": "join-rejected"})
             if self.on_conn_failed is not None:
                 self.on_conn_failed(conn, "join-rejected")
             return
         self._install_control_stream(conn)
         if self.auto_user_timeout is not None:
             self.set_user_timeout(conn, self.auto_user_timeout)
+        self._emit("session", "join", {"conn": conn.conn_id,
+                                       "index": conn.index})
         self._resolve_pending_failover(conn)
         if self.on_join is not None:
             self.on_join(conn)

@@ -269,11 +269,17 @@ class TcplsServer:
         session.conns.append(conn)
         session._wire_tcp_callbacks(conn)
         conn._wired = True
+        session._emit("session", "conn_established", {
+            "conn": conn.conn_id, "index": conn.index,
+            "local": str(conn.tcp.local), "remote": str(conn.tcp.remote),
+        })
         if conn.index == 0:
             session._setup_keys(conn.tls.schedule, conn.tls.cipher_cls)
             session.tcpls_enabled = pending["session"] is not None
             session._install_control_stream(conn)
             session.ready = True
+            session._emit("session", "ready",
+                          {"tcpls": session.tcpls_enabled})
             if self.on_session is not None:
                 self.on_session(session)
             if session.on_ready is not None:
@@ -296,6 +302,8 @@ class TcplsServer:
                     self.issue_tokens(session, self.cookie_batch)
                 else:
                     self.issue_cookies(session, self.cookie_batch)
+            session._emit("session", "join", {"conn": conn.conn_id,
+                                              "index": conn.index})
             session._resolve_pending_failover(conn)
             if session.on_join is not None:
                 session.on_join(conn)

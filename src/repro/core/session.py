@@ -76,10 +76,16 @@ class ConnectionState:
 class TcplsSession:
     """Shared session logic for both endpoints."""
 
+    _next_obs_id = 0
+
     def __init__(self, sim, is_client, record_payload=16384,
                  trial_window=64, ack_interval=16,
                  unsent_target=DEFAULT_UNSENT_TARGET):
         self.sim = sim
+        TcplsSession._next_obs_id += 1
+        #: stable per-simulation ordinal carried in every event this
+        #: session emits (the scoping key for bus subscriptions)
+        self.obs_id = TcplsSession._next_obs_id
         self.is_client = is_client
         self.record_payload = record_payload
         self.trial_window = trial_window
@@ -112,9 +118,6 @@ class TcplsSession:
         self._ebpf_chunks = {}
         self._last_ack_all = -1.0
         self._tcpinfo_callbacks = {}
-        #: optional :class:`repro.qlog.QlogTracer` receiving per-record
-        #: transport events (the paper's artefact supports QLOG/QVIS)
-        self.qlog = None
         #: connections that failed with no alternate available yet;
         #: resolved as soon as a usable connection (re)appears.
         self._pending_failover = []
@@ -147,6 +150,22 @@ class TcplsSession:
         self.on_tcp_option = None        # (conn, kind, data)
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _emit(self, category, name, data=None):
+        """Publish one session-scoped event (adds the session id and
+        role); a no-op when nothing subscribed to ``category``."""
+        bus = self.sim.bus
+        if not bus.wants(category):
+            return
+        payload = {"session": self.obs_id,
+                   "role": "client" if self.is_client else "server"}
+        if data:
+            payload.update(data)
+        bus.emit(category, name, payload)
+
+    # ------------------------------------------------------------------
     # Key material
     # ------------------------------------------------------------------
 
@@ -163,6 +182,8 @@ class TcplsSession:
         self._recv_key = cipher_cls(recv.key)
         self._send_iv = send.iv
         self._recv_iv = recv.iv
+        self._emit("tls", "keys_installed",
+                   {"cipher": getattr(cipher_cls, "name", cipher_cls.__name__)})
 
     def _make_stream(self, stream_id, conn, coupled_group=None):
         stream = TcplsStream(
@@ -172,6 +193,10 @@ class TcplsSession:
             coupled_group=coupled_group,
         )
         self.streams[stream_id] = stream
+        self._emit("session", "stream_created", {
+            "stream": stream_id, "conn": conn.conn_id,
+            "group": coupled_group or 0,
+        })
         return stream
 
     def _install_control_stream(self, conn):
@@ -247,6 +272,11 @@ class TcplsSession:
                                          stream.ctx_send.send_seq),
             )
         stream.connection = new_conn
+        self._emit("session", "stream_steered", {
+            "stream": stream.stream_id,
+            "from": old_conn.conn_id if old_conn is not None else None,
+            "to": new_conn.conn_id,
+        })
         self._send_control(
             new_conn,
             rec.encode_stream_attach(stream.stream_id,
@@ -273,6 +303,7 @@ class TcplsSession:
         if self.failover_enabled:
             return
         self.failover_enabled = True
+        self._emit("session", "failover_enabled", {})
         primary = self._first_writable()
         if primary is not None:
             self._send_control(primary, bytes([rec.CTRL_ENABLE_FAILOVER]))
@@ -378,11 +409,10 @@ class TcplsSession:
         if store_unacked and self.failover_enabled:
             stream.unacked.append((seq, wire))
         self.stats["records_sent"] += 1
-        if self.qlog is not None:
-            self.qlog.log("transport", "record_sent", {
-                "conn": conn.conn_id, "stream": stream.stream_id,
-                "seq": seq, "type": record_type, "length": len(wire),
-            })
+        self._emit("tls", "record_sealed", {
+            "conn": conn.conn_id, "stream": stream.stream_id,
+            "seq": seq, "type": record_type, "length": len(wire),
+        })
         self._conn_write(conn, wire)
         return seq
 
@@ -477,6 +507,13 @@ class TcplsSession:
                 break
             picked = group.scheduler.pick(candidates)
             targets = picked if isinstance(picked, list) else [picked]
+            if self.sim.bus.wants("scheduler"):
+                self._emit("scheduler", "pick", {
+                    "group": group.group_id,
+                    "scheduler": getattr(group.scheduler, "name", "custom"),
+                    "streams": [t.stream_id for t in targets],
+                    "candidates": len(candidates),
+                })
             last = (
                 group.fin_pending
                 and len(group.pending) <= self._chunk_size(9)
@@ -596,6 +633,9 @@ class TcplsSession:
         # dead connection -- re-acknowledge everything (rate-limited)
         # so the peer prunes its replay buffer and stops.
         self.stats["demux_drops"] += 1
+        self._emit("tls", "record_rejected", {
+            "conn": conn.conn_id, "length": len(record_bytes),
+        })
         if self.failover_enabled and \
                 self.sim.now - self._last_ack_all >= 0.05:
             self._last_ack_all = self.sim.now
@@ -615,12 +655,11 @@ class TcplsSession:
         stream.mark_decrypted(seq)
         conn.last_stream = stream
         inner = rec.decode_inner(plaintext)
-        if self.qlog is not None:
-            self.qlog.log("transport", "record_received", {
-                "conn": conn.conn_id, "stream": stream.stream_id,
-                "seq": seq, "type": inner.record_type,
-                "length": len(record_bytes),
-            })
+        self._emit("tls", "record_opened", {
+            "conn": conn.conn_id, "stream": stream.stream_id,
+            "seq": seq, "type": inner.record_type,
+            "length": len(record_bytes),
+        })
         self._handle_inner(conn, stream, seq, inner)
 
     # -- record dispatch -----------------------------------------------------
@@ -790,6 +829,8 @@ class TcplsSession:
             stream = self.streams.get(stream_id)
             if stream is not None:
                 stream.closed = True
+                self._emit("session", "stream_closed",
+                           {"stream": stream_id, "conn": conn.conn_id})
         elif opcode == rec.CTRL_ENABLE_FAILOVER:
             self.failover_enabled = True
         elif opcode == rec.CTRL_NEW_COOKIES:
@@ -828,6 +869,10 @@ class TcplsSession:
         """Peer signalled failover: reattach our view of its streams to
         this connection, move our own streams off the dead connection,
         and replay our unacked records (Fig. 4)."""
+        self._emit("recovery", "sync_received", {
+            "conn": conn.conn_id, "failed": failed_conn_id,
+            "streams": len(entries),
+        })
         failed = next(
             (c for c in self.conns if c.conn_id == failed_conn_id
              and c is not conn),
@@ -919,6 +964,8 @@ class TcplsSession:
             return
         conn.failed = True
         conn.alive = False
+        self._emit("session", "conn_failed",
+                   {"conn": conn.conn_id, "reason": reason})
         if self.on_conn_failed is not None:
             self.on_conn_failed(conn, reason)
         if not self.failover_enabled or not self.ready:
@@ -927,6 +974,8 @@ class TcplsSession:
         target = self._failover_target(conn)
         if target is None:
             self._pending_failover.append(conn)
+            self._emit("recovery", "failover_pending",
+                       {"conn": conn.conn_id, "reason": reason})
             self._on_no_failover_target(conn)
             return
         self._do_failover(conn, target)
@@ -966,6 +1015,10 @@ class TcplsSession:
             resume = stream.unacked[0][0] if stream.unacked else \
                 stream.ctx_send.send_seq
             entries.append((stream.stream_id, resume))
+        self._emit("recovery", "failover", {
+            "from": failed_conn.conn_id, "to": target.conn_id,
+            "streams": len(moved),
+        })
         self._send_typed(
             target, rec.RECORD_TYPE_SYNC,
             rec.encode_sync(failed_conn.conn_id, entries),
@@ -982,8 +1035,13 @@ class TcplsSession:
     def _replay_unacked(self, target):
         """Retransmit stored ciphertexts as-is (per-stream contexts make
         the bytes connection-independent)."""
+        replayed = 0
         for stream in self.streams.values():
             if stream.connection is target and stream.unacked:
                 for _seq, wire in stream.unacked:
                     self._conn_write(target, wire)
                     self.stats["records_replayed"] += 1
+                    replayed += 1
+        if replayed:
+            self._emit("recovery", "replay",
+                       {"conn": target.conn_id, "records": replayed})

@@ -70,9 +70,15 @@ class Link:
         sending TCP stack is responsible for segmentation.
     """
 
+    _next_obs_id = 0
+
     def __init__(self, sim, rate_bps=None, delay=0.0, queue_bytes=None,
                  loss_rate=0.0, mtu=1500, name="", jitter=0.0):
         self.sim = sim
+        Link._next_obs_id += 1
+        #: stable identifier carried in observability events ("link"
+        #: field); the human name when given, else a unique ordinal.
+        self.obs_name = name or ("link-%d" % Link._next_obs_id)
         self.rate_bps = rate_bps
         self.delay = delay
         #: uniform per-packet extra delay (order-preserving).  Zero by
@@ -122,6 +128,7 @@ class Link:
 
     def send(self, packet):
         """Entry point for the transmitting node."""
+        self._observe("enqueue", packet)
         if not self.up:
             self._drop(packet, "down")
             return
@@ -178,6 +185,17 @@ class Link:
         self.stats.dropped_bytes += packet.wire_size()
         reasons = self.stats.drop_reasons
         reasons[reason] = reasons.get(reason, 0) + 1
+        self._observe("drop", packet, reason=reason)
+
+    def _observe(self, name, packet, reason=None):
+        """Emit one link event (skipped entirely when nobody listens)."""
+        bus = self.sim.bus
+        if not bus.wants("link"):
+            return
+        data = {"link": self.obs_name, "bytes": packet.wire_size()}
+        if reason is not None:
+            data["reason"] = reason
+        bus.emit("link", name, data)
 
     def _deliver(self, packet):
         if not self.up:
@@ -197,6 +215,7 @@ class Link:
             packet = processed
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.wire_size()
+        self._observe("deliver", packet)
         if self._sink is not None:
             self._sink(packet)
 

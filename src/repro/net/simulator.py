@@ -48,11 +48,16 @@ class Simulator:
     """
 
     def __init__(self, seed=0):
+        from repro.obs.bus import EventBus
+
         self.now = 0.0
         self.rng = random.Random(seed)
         self._queue = []
         self._seq = itertools.count()
         self._running = False
+        #: the simulation-wide observability bus (see :mod:`repro.obs`);
+        #: emission is a near-no-op until something subscribes.
+        self.bus = EventBus(self)
 
     def schedule(self, delay, fn, *args):
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""

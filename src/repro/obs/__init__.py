@@ -1,0 +1,68 @@
+"""Unified observability: event bus, sinks, and invariant checkers.
+
+Every simulator owns an :class:`EventBus` (``sim.bus``).  The TCP
+state machine, the TCPLS record layer and session, the links and the
+coupled-stream scheduler emit typed events onto it; sinks — full
+captures, ring buffers, qlog writers, invariant checkers — subscribe,
+optionally scoped to categories or to one session/stream.
+
+Quick start::
+
+    from repro.obs import CaptureSink, arm_invariants
+
+    sink = sim.bus.subscribe(CaptureSink(), categories=("recovery",))
+    harness = arm_invariants(sim)
+    ... run the scenario ...
+    harness.assert_clean()
+"""
+
+from repro.obs.bus import CaptureSink, EventBus, RingBufferSink, Subscription
+from repro.obs.events import (
+    ALL_CATEGORIES,
+    CAT_LINK,
+    CAT_RECOVERY,
+    CAT_SCHEDULER,
+    CAT_SESSION,
+    CAT_TCP,
+    CAT_TLS,
+    Event,
+)
+from repro.obs.invariants import (
+    DEFAULT_CHECKERS,
+    CwndSanityChecker,
+    FailoverSanityChecker,
+    InvariantChecker,
+    InvariantHarness,
+    InvariantViolationError,
+    LinkConservationChecker,
+    MonotoneSeqChecker,
+    NonceUniquenessChecker,
+    Violation,
+    arm_invariants,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CAT_LINK",
+    "CAT_RECOVERY",
+    "CAT_SCHEDULER",
+    "CAT_SESSION",
+    "CAT_TCP",
+    "CAT_TLS",
+    "CaptureSink",
+    "CwndSanityChecker",
+    "DEFAULT_CHECKERS",
+    "Event",
+    "EventBus",
+    "FailoverSanityChecker",
+    "InvariantChecker",
+    "InvariantHarness",
+    "InvariantViolationError",
+    "LinkConservationChecker",
+    "MonotoneSeqChecker",
+    "NonceUniquenessChecker",
+    "RingBufferSink",
+    "Subscription",
+    "Violation",
+    "arm_invariants",
+]

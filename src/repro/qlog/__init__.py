@@ -4,6 +4,10 @@ The paper's artefact includes QLOG/QVIS support; this module writes the
 same shape of trace: a JSON document with a stream of timestamped,
 categorised events, suitable for offline inspection of a simulated
 session (records sent/received, failovers, joins, congestion events).
+
+:class:`QlogTracer` is a sink for the :mod:`repro.obs` event bus —
+subscribe it to ``sim.bus`` (any categories, any scope) and dump the
+result; the output loads directly into QVIS-style viewers.
 """
 
 from repro.qlog.writer import QlogTracer, attach_session_tracer

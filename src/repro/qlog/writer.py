@@ -1,10 +1,26 @@
-"""qlog trace writer."""
+"""qlog trace writer.
+
+:class:`QlogTracer` is a qlog-format *sink* for the observability bus
+(:mod:`repro.obs`): subscribe it to ``sim.bus`` and every event it
+receives becomes one qlog event in the output document.  The manual
+:meth:`QlogTracer.log` entry point remains for ad-hoc events, and
+:func:`attach_session_tracer` remains as the session-scoped shim.
+"""
 
 import json
 
 
 class QlogTracer:
-    """Collects events and serialises them qlog-style."""
+    """Collects events and serialises them qlog-style.
+
+    Usable three ways:
+
+    - as a bus sink: ``sim.bus.subscribe(tracer, categories=...)``
+      (it implements the ``on_event`` sink protocol);
+    - via :func:`attach_session_tracer` for one session's lifecycle
+      (and optionally its record stream);
+    - manually, through :meth:`log`.
+    """
 
     def __init__(self, sim, title="tcpls-session", vantage_point="client"):
         self.sim = sim
@@ -20,6 +36,10 @@ class QlogTracer:
             "event": event,
             "data": data or {},
         })
+
+    def on_event(self, event):
+        """Bus-sink protocol: append one :class:`repro.obs.Event`."""
+        self.events.append(event.to_dict())
 
     def to_dict(self):
         return {
@@ -43,11 +63,24 @@ def attach_session_tracer(session, tracer, trace_records=False):
     """Wire a tracer into a TCPLS session's callback points.
 
     Existing application callbacks are preserved (the tracer chains
-    them).  With ``trace_records=True`` every record sent/received is
-    logged too (one event per record -- sized for short sessions).
+    them).  Lifecycle events (ready / established / failed / failover /
+    join / eBPF) are always traced.
+
+    ``trace_records=True`` additionally subscribes the tracer to the
+    session's ``tls``-category events on the bus — one event per record
+    sealed/opened/rejected, sized for short sessions.  With the default
+    ``trace_records=False`` no record-level events are captured at all;
+    to get them with different scoping (e.g. every session at once),
+    subscribe the tracer to the bus yourself::
+
+        sim.bus.subscribe(tracer, categories=("tls",))
     """
     if trace_records:
-        session.qlog = tracer
+        session.sim.bus.subscribe(
+            tracer, categories=("tls",),
+            where={"session": session.obs_id},
+        )
+
     def chain(attr, category, event, datafn):
         previous = getattr(session, attr)
 

@@ -133,6 +133,39 @@ class TcpConnection:
         self.on_user_timeout = None
         self.on_send_space = None
 
+        # Observability (repro.obs): last cwnd/ssthresh pair reported,
+        # so cwnd_updated only fires on actual changes.
+        self._last_cc_obs = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _set_state(self, new_state):
+        """All state transitions funnel through here so the event bus
+        sees every edge of the connection state machine."""
+        old_state, self.state = self.state, new_state
+        if old_state != new_state:
+            self.sim.bus.emit("tcp", "state_changed", {
+                "conn": self.conn_id, "old": old_state, "new": new_state,
+            })
+
+    def _observe_cc(self, trigger):
+        """Report a cwnd/ssthresh change (after a CC hook ran)."""
+        bus = self.sim.bus
+        if not bus.wants("tcp"):
+            return
+        cwnd = int(self.cc.cwnd)
+        ssthresh = self.cc.ssthresh
+        ssthresh = None if ssthresh == float("inf") else int(ssthresh)
+        if (cwnd, ssthresh) == self._last_cc_obs:
+            return
+        self._last_cc_obs = (cwnd, ssthresh)
+        bus.emit("tcp", "cwnd_updated", {
+            "conn": self.conn_id, "cwnd": cwnd, "ssthresh": ssthresh,
+            "min_cwnd": int(self.cc.min_cwnd), "trigger": trigger,
+        })
+
     # ------------------------------------------------------------------
     # Opening
     # ------------------------------------------------------------------
@@ -142,7 +175,7 @@ class TcpConnection:
         Fast Open cookie for the peer is cached."""
         if self.state != CLOSED:
             raise RuntimeError("connect() on %s connection" % self.state)
-        self.state = SYN_SENT
+        self._set_state(SYN_SENT)
         options = [MssOption(self.mss)]
         payload = b""
         if self.stack.tfo_enabled:
@@ -160,7 +193,7 @@ class TcpConnection:
 
     def accept_syn(self, segment, packet):
         """Passive open: stack routed a SYN to this new connection."""
-        self.state = SYN_RCVD
+        self._set_state(SYN_RCVD)
         self.irs = segment.seq
         self.rcv_buf = ReceiveBuffer(segment.seq + 1)
         mss_opt = segment.find_option(OPT_MSS)
@@ -243,9 +276,9 @@ class TcpConnection:
             return
         self._fin_queued = True
         if self.state == ESTABLISHED:
-            self.state = FIN_WAIT_1
+            self._set_state(FIN_WAIT_1)
         elif self.state == CLOSE_WAIT:
-            self.state = LAST_ACK
+            self._set_state(LAST_ACK)
         self._try_send()
 
     def abort(self):
@@ -508,6 +541,11 @@ class TcpConnection:
         self._rto_event = None
         if self.state == CLOSED:
             return
+        if self.sim.bus.wants("tcp"):
+            self.sim.bus.emit("tcp", "rto", {
+                "conn": self.conn_id, "state": self.state,
+                "backoff": self._rto_backoff,
+            })
         if self.state == SYN_SENT:
             self._syn_retries += 1
             if self._syn_retries > MAX_SYN_RETRIES:
@@ -534,6 +572,7 @@ class TcpConnection:
             return  # nothing outstanding
         self._rto_backoff += 1
         self.cc.on_rto(self.sim.now)
+        self._observe_cc("rto")
         self._rtt_seq = None  # Karn: no samples from retransmits
         self._in_recovery = False
         self._dupacks = 0
@@ -632,7 +671,7 @@ class TcpConnection:
             self._try_send()
 
     def _become_established(self):
-        self.state = ESTABLISHED
+        self._set_state(ESTABLISHED)
         self.established_at = self.sim.now
         self._schedule_uto_check()
         if self.on_established is not None:
@@ -676,11 +715,17 @@ class TcpConnection:
                     self._in_recovery = False
                     self._rexmitted.clear()
                     self.cc.on_exit_recovery(self.sim.now)
+                    self._observe_cc("exit_recovery")
+                    if self.sim.bus.wants("tcp"):
+                        self.sim.bus.emit("tcp", "recovery_exited", {
+                            "conn": self.conn_id,
+                        })
                 else:
                     self._mark_holes_lost()
             else:
                 self.cc.on_ack(newly_acked, rtt_sample, self.sim.now,
                                in_flight_before)
+                self._observe_cc("ack")
             if self.snd_una >= self.snd_nxt:
                 self._cancel_rto()
             else:
@@ -707,6 +752,12 @@ class TcpConnection:
         self._rexmitted.clear()
         self._rtt_seq = None  # Karn: no samples across a loss event
         self.cc.on_loss(self.sim.now)
+        self._observe_cc("loss")
+        if self.sim.bus.wants("tcp"):
+            self.sim.bus.emit("tcp", "fast_retransmit", {
+                "conn": self.conn_id, "recover_point": self._recover_point,
+                "dupacks": self._dupacks,
+            })
         if self._sacked:
             self._mark_holes_lost()
         else:
@@ -716,7 +767,7 @@ class TcpConnection:
     def _handle_ack_state_transitions(self, ack):
         fin_acked = self._fin_sent and ack > (self._fin_seq or 0)
         if self.state == FIN_WAIT_1 and fin_acked:
-            self.state = FIN_WAIT_2
+            self._set_state(FIN_WAIT_2)
         elif self.state == CLOSING and fin_acked:
             self._enter_time_wait()
         elif self.state == LAST_ACK and fin_acked:
@@ -748,9 +799,9 @@ class TcpConnection:
         self.rcv_buf.rcv_nxt += 1
         self._send_ack()
         if self.state == ESTABLISHED:
-            self.state = CLOSE_WAIT
+            self._set_state(CLOSE_WAIT)
         elif self.state == FIN_WAIT_1:
-            self.state = CLOSING
+            self._set_state(CLOSING)
         elif self.state == FIN_WAIT_2:
             self._enter_time_wait()
         if self.on_close is not None:
@@ -761,7 +812,7 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def _enter_time_wait(self):
-        self.state = TIME_WAIT
+        self._set_state(TIME_WAIT)
         self._cancel_rto()
         self._time_wait_event = self.sim.schedule(
             TIME_WAIT_DURATION, self._enter_closed, True
@@ -769,7 +820,7 @@ class TcpConnection:
 
     def _enter_closed(self, notify=False, reset=False):
         was_open = self.state not in (CLOSED,)
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._cancel_rto()
         if self._uto_event is not None:
             self._uto_event.cancel()

@@ -1,0 +1,104 @@
+"""Property suite: the protocol invariants hold under random faults.
+
+Every checker is armed while a TCPLS download runs over adversarial
+channels — Gilbert–Elliott burst loss (grid + hypothesis-drawn),
+reordering jitter and scripted flaps.  Whatever the channel does, the
+protocol must not rewind a crypto context, reuse a nonce, collapse the
+congestion window, fail over onto a dead connection or invent packets.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from tests.core.test_failover_scenarios import (
+    download_setup,
+    make_faulty_net,
+)
+
+from repro.net.faults import GilbertElliott
+from repro.obs import arm_invariants
+
+pytestmark = [pytest.mark.obs, pytest.mark.faults]
+
+
+def clean_download_under(fault_builder, n_paths=2, seed=7, size=1 << 20,
+                         flap=True):
+    """Run a failover-enabled download with the faults applied and all
+    invariant checkers armed; the transfer must complete intact and the
+    checkers must stay clean.  Returns the harness."""
+    sim, topo, cstack, sstack = make_faulty_net(n_paths=n_paths, seed=seed)
+    harness = arm_invariants(sim)
+    client, sessions, payload, received, done = download_setup(
+        sim, topo, cstack, sstack, size)
+    client.join(topo.path(1).client_addr)
+    fault_builder(topo)
+    if flap:
+        topo.flap_path(0, at=1.0, duration=1.5)
+    sim.run(until=60)
+    assert done, "transfer never completed under faults"
+    assert bytes(received) == payload
+    harness.assert_clean()
+    return harness
+
+
+LOSS_GRID = [
+    # (p_gb, p_bg, loss_bad) on the data direction of the backup path,
+    # so recovery itself happens over a lossy channel.
+    (0.01, 0.50, 1.0),
+    (0.03, 0.30, 0.8),
+    (0.05, 0.20, 0.6),
+]
+
+
+@pytest.mark.parametrize("p_gb,p_bg,loss_bad", LOSS_GRID)
+def test_invariants_hold_across_burst_loss_grid(p_gb, p_bg, loss_bad):
+    def build(topo):
+        topo.path(1).s2c.add_fault(
+            GilbertElliott(p_gb, p_bg, loss_bad=loss_bad, seed=41))
+        topo.path(1).c2s.add_fault(
+            GilbertElliott(p_gb / 2, p_bg, loss_bad=loss_bad, seed=42))
+
+    clean_download_under(build)
+
+
+@pytest.mark.parametrize("reorder", [0.002, 0.01])
+def test_invariants_hold_under_reordering_jitter(reorder):
+    """Random per-packet jitter reorders the wire; sequence and nonce
+    invariants are about *sealing* order, which must stay untouched."""
+    def build(topo):
+        for path in topo.paths:
+            path.c2s.jitter = reorder
+            path.s2c.jitter = reorder
+
+    clean_download_under(build)
+
+
+def test_invariants_hold_with_loss_on_both_paths_no_flap():
+    """Loss without any scripted outage: failover may or may not
+    trigger via UTO; either way the invariants hold."""
+    def build(topo):
+        for path in topo.paths:
+            path.s2c.add_fault(
+                GilbertElliott(0.02, 0.4, loss_bad=0.9, seed=5))
+
+    clean_download_under(build, flap=False)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    p_gb=st.floats(min_value=0.005, max_value=0.05),
+    p_bg=st.floats(min_value=0.1, max_value=0.6),
+    loss_bad=st.floats(min_value=0.4, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_invariants_hold_for_any_ge_channel(p_gb, p_bg,
+                                                     loss_bad, seed):
+    def build(topo):
+        topo.path(1).s2c.add_fault(
+            GilbertElliott(p_gb, p_bg, loss_bad=loss_bad, seed=seed))
+        topo.path(1).c2s.add_fault(
+            GilbertElliott(p_gb / 2, p_bg, loss_bad=loss_bad,
+                           seed=seed + 1))
+
+    clean_download_under(build, size=512 << 10)
