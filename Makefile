@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-obs bench trace-demo
+.PHONY: test test-obs bench bench-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,7 +10,15 @@ test-obs:
 	$(PYTHON) -m pytest -m obs -q
 
 bench:
-	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s --benchmark-only
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s --benchmark-only --json BENCH_all.json
+
+# Perf-regression gate: run the micro hot-path suite and fail if any
+# benchmark slowed >20% against the committed baseline
+# (benchmarks/baselines/BENCH_micro.json; regenerate it with the same
+# pytest command when a slowdown is intended).
+bench-check:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest bench_micro_hotpaths.py -q -s --benchmark-only --benchmark-disable-gc --benchmark-min-rounds=7 --json BENCH_micro.json
+	$(PYTHON) benchmarks/compare.py benchmarks/baselines/BENCH_micro.json benchmarks/BENCH_micro.json $(BENCH_COMPARE_FLAGS)
 
 # Run the Fig. 8 failover scenario with the full observability stack
 # armed and write trace_failover.qlog (inspect with QVIS).

@@ -15,14 +15,19 @@ from repro.core.crypto_context import (
 from repro.core.record import decode_inner, encode_inner
 from repro.core.record import RECORD_TYPE_STREAM_DATA
 from repro.core.reorder import ReorderBuffer
-from repro.crypto.aead import Chacha20Poly1305, NullTagCipher
+from repro.crypto.aead import Aes128Gcm, Chacha20Poly1305, NullTagCipher
+from repro.crypto.aes import Aes128
+from repro.crypto.gcm import Ghash
 from repro.ebpf import EbpfVm, assemble
 from repro.ebpf.cc_hooks import EbpfCongestionControl
 from repro.ebpf.programs import cubic_bytecode
+from repro.net import Simulator
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
 from repro.tcp.ranges import RangeSet
 
 PAYLOAD = b"\xAB" * 16384
 BASE_IV = bytes(range(12))
+NONCE = b"\x00" * 12
 
 
 def test_record_frame_encode(benchmark):
@@ -59,11 +64,121 @@ def test_stream_open_null_cipher(benchmark):
 
 
 def test_chacha20poly1305_seal_1500(benchmark):
-    """The real cipher on a packet-sized record (pure Python: this is
-    why simulator-scale runs use the null-tag cipher)."""
+    """The real cipher on a packet-sized record (pure Python; the
+    SWAR-batched keystream makes these usable at simulator scale)."""
     cipher = Chacha20Poly1305(b"K" * 32)
-    sealed = benchmark(cipher.seal, b"\x00" * 12, b"z" * 1500, b"hdr")
+    sealed = benchmark(cipher.seal, NONCE, b"z" * 1500, b"hdr")
     assert len(sealed) == 1516
+
+
+def test_chacha20poly1305_open_1500(benchmark):
+    cipher = Chacha20Poly1305(b"K" * 32)
+    sealed = cipher.seal(NONCE, b"z" * 1500, b"hdr")
+    assert benchmark(cipher.open, NONCE, sealed, b"hdr") == b"z" * 1500
+
+
+def test_chacha20poly1305_seal_16k(benchmark):
+    cipher = Chacha20Poly1305(b"K" * 32)
+    sealed = benchmark(cipher.seal, NONCE, PAYLOAD, b"hdr")
+    assert len(sealed) == len(PAYLOAD) + 16
+
+
+def test_chacha20poly1305_open_16k(benchmark):
+    cipher = Chacha20Poly1305(b"K" * 32)
+    sealed = cipher.seal(NONCE, PAYLOAD, b"hdr")
+    assert benchmark(cipher.open, NONCE, sealed, b"hdr") == PAYLOAD
+
+
+def test_aes128gcm_seal_1500(benchmark):
+    cipher = Aes128Gcm(b"K" * 16)
+    sealed = benchmark(cipher.seal, NONCE, b"z" * 1500, b"hdr")
+    assert len(sealed) == 1516
+
+
+def test_aes128gcm_open_1500(benchmark):
+    cipher = Aes128Gcm(b"K" * 16)
+    sealed = cipher.seal(NONCE, b"z" * 1500, b"hdr")
+    assert benchmark(cipher.open, NONCE, sealed, b"hdr") == b"z" * 1500
+
+
+def test_aes128gcm_seal_16k(benchmark):
+    cipher = Aes128Gcm(b"K" * 16)
+    sealed = benchmark(cipher.seal, NONCE, PAYLOAD, b"hdr")
+    assert len(sealed) == len(PAYLOAD) + 16
+
+
+def test_aes128gcm_open_16k(benchmark):
+    cipher = Aes128Gcm(b"K" * 16)
+    sealed = cipher.seal(NONCE, PAYLOAD, b"hdr")
+    assert benchmark(cipher.open, NONCE, sealed, b"hdr") == PAYLOAD
+
+
+def test_ghash_digest_16k(benchmark):
+    ghash = Ghash(Aes128(b"K" * 16).encrypt_block(b"\x00" * 16))
+    tag = benchmark(ghash.digest, b"hdr", PAYLOAD)
+    assert len(tag) == 16
+
+
+def test_send_buffer_write_peek_ack_churn(benchmark):
+    """The bulk-transfer pattern: app writes, MSS-sized peeks, rolling
+    cumulative ACKs (amortised-O(1) with the chunk-list layout)."""
+    app_chunk = b"\xCD" * 4096
+
+    def run():
+        buf = SendBuffer(base_seq=0, capacity=1 << 20)
+        seq = acked = 0
+        total = 0
+        for _ in range(128):
+            buf.write(app_chunk)
+            while seq < buf.end_seq:
+                total += len(buf.peek(seq, 1460))
+                seq = min(seq + 1460, buf.end_seq)
+                if seq - acked >= 8 * 1460:
+                    acked = seq
+                    buf.ack_to(acked)
+        return total
+
+    assert benchmark(run) == 128 * 4096
+
+
+def test_receive_buffer_window_with_ooo(benchmark):
+    """window() is computed per outgoing segment; with the cached
+    out-of-order byte count it stays O(1) however fragmented."""
+    buf = ReceiveBuffer(rcv_nxt=0, capacity=1 << 20)
+    for i in range(200):
+        buf.offer(10000 + 3000 * i, b"x" * 1460)
+
+    def run():
+        total = 0
+        for _ in range(1000):
+            total += buf.window()
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_simulator_rto_cancel_churn(benchmark):
+    """The RTO arm/cancel pattern TCP generates on every ACK: without
+    lazy-cancellation compaction the heap grows with dead timers."""
+
+    def run():
+        sim = Simulator()
+        timer = [None]
+
+        def rearm(n):
+            if timer[0] is not None:
+                timer[0].cancel()
+            if n > 0:
+                timer[0] = sim.schedule(10.0, lambda: None)
+                sim.schedule(0.001, rearm, n - 1)
+            else:
+                timer[0].cancel()
+
+        sim.schedule(0.0, rearm, 2000)
+        sim.run()
+        return sim.pending_events
+
+    assert benchmark(run) == 0
 
 
 def test_iv_derivation_fig2(benchmark):

@@ -1,0 +1,95 @@
+"""Compare two benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json NEW.json \
+        [--threshold 0.2] [--metric min]
+
+Both files are produced by ``pytest benchmarks/ --benchmark-only
+--json PATH`` (see conftest.py).  A benchmark regresses when its
+timing exceeds the baseline by more than ``--threshold`` (default
+20%).  Exit status 1 on any regression, 0 otherwise; benchmarks
+present on only one side are reported but never fail the run (new
+benches need a first baseline, retired ones a refresh).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        out[bench.get("name")] = bench
+    return out
+
+
+def pick_metric(bench, metric):
+    value = bench.get(metric)
+    if value is None:
+        value = bench.get("mean")
+    return value
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail if NEW regresses against BASELINE")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("new", help="freshly produced benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed slowdown fraction (default 0.2)")
+    parser.add_argument("--metric", choices=("min", "mean"), default="min",
+                        help="statistic to compare (default min: least "
+                             "noise-sensitive on a shared machine)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    new = load(args.new)
+
+    regressions = []
+    improved = 0
+    compared = 0
+    header = "%-48s %12s %12s %9s" % ("benchmark", "baseline", "new",
+                                      "ratio")
+    print(header)
+    print("-" * len(header))
+    for name in sorted(set(baseline) & set(new)):
+        old_value = pick_metric(baseline[name], args.metric)
+        new_value = pick_metric(new[name], args.metric)
+        if not old_value or new_value is None:
+            continue
+        compared += 1
+        ratio = new_value / old_value
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  REGRESSED"
+        elif ratio < 1.0 - args.threshold:
+            improved += 1
+            flag = "  improved"
+        print("%-48s %10.6fs %10.6fs %8.2fx%s"
+              % (name[:48], old_value, new_value, ratio, flag))
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    for name in only_old:
+        print("%-48s (removed: present only in baseline)" % name[:48])
+    for name in only_new:
+        print("%-48s (added: no baseline yet)" % name[:48])
+
+    print("\n%d compared, %d improved, %d regressed, %d added, %d removed"
+          % (compared, improved, len(regressions), len(only_new),
+             len(only_old)))
+    if regressions:
+        print("\nregressions beyond %.0f%%:" % (args.threshold * 100))
+        for name, ratio in regressions:
+            print("  %s: %.2fx" % (name, ratio))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

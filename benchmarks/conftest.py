@@ -19,6 +19,11 @@ def pytest_addoption(parser):
         help="write one qlog trace per instrumented experiment run into "
              "DIR (equivalent to REPRO_QLOG=DIR); inspect with QVIS",
     )
+    parser.addoption(
+        "--json", metavar="PATH", default=None, dest="bench_json",
+        help="write the run's benchmark timings to PATH as JSON "
+             "(consumed by benchmarks/compare.py for regression checks)",
+    )
 
 
 def pytest_configure(config):
@@ -29,11 +34,44 @@ def pytest_configure(config):
         common.QLOG_DIR = qlog_dir
 
 
+def _bench_stat(bench, key):
+    """Pull one statistic off a pytest-benchmark entry, tolerating the
+    small layout differences between plugin versions."""
+    stats = getattr(bench, "stats", None)
+    inner = getattr(stats, "stats", stats)
+    value = getattr(inner, key, None)
+    return float(value) if value is not None else None
+
+
 def pytest_sessionfinish(session, exitstatus):
     import common
 
     for path in common.dump_traces():
         print("[qlog] wrote %s" % path)
+
+    json_path = session.config.getoption("bench_json", default=None)
+    if not json_path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    entries = []
+    for bench in benchmarks:
+        entries.append({
+            "name": getattr(bench, "name", "?"),
+            "fullname": getattr(bench, "fullname", "?"),
+            "mean": _bench_stat(bench, "mean"),
+            "min": _bench_stat(bench, "min"),
+            "stddev": _bench_stat(bench, "stddev"),
+            "rounds": getattr(getattr(bench, "stats", None), "rounds",
+                              None),
+        })
+    import json
+
+    with open(json_path, "w") as handle:
+        json.dump({"benchmarks": entries}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("[bench] wrote %d benchmark timings to %s"
+          % (len(entries), json_path))
 
 
 def run_once(benchmark, fn):

@@ -72,12 +72,15 @@ class TcplsRecord:
 
 
 def encode_inner(record_type, payload=b"", control=b""):
-    """Frame the AEAD plaintext with end-of-record control data."""
+    """Frame the AEAD plaintext with end-of-record control data.
+
+    ``payload`` may be any bytes-like object (including a zero-copy
+    ``memoryview`` of an application buffer); the single gather below is
+    the only copy the send path makes of it.
+    """
     if len(control) > 255:
         raise ValueError("control fields limited to 255 bytes")
-    return bytes(payload) + bytes(control) + bytes(
-        [len(control), record_type]
-    )
+    return b"".join((payload, control, bytes((len(control), record_type))))
 
 
 def decode_inner(plaintext, zero_copy=False):

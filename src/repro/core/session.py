@@ -41,6 +41,9 @@ class ConnectionState:
         self.tls = tls
         self.reassembler = RecordReassembler()
         self.pending_out = deque()
+        #: total bytes queued in ``pending_out`` (kept incrementally so
+        #: the pump's budget check is O(1) per record, not O(queue)).
+        self.pending_out_bytes = 0
         self.control_stream = None
         self.last_stream = None
         self.alive = False
@@ -133,6 +136,8 @@ class TcplsSession:
             "syncs_sent": 0,
             "records_replayed": 0,
             "failovers": 0,
+            "bytes_sealed": 0,
+            "bytes_opened": 0,
         }
 
         # Application callbacks (all optional, called with rich args).
@@ -164,6 +169,17 @@ class TcplsSession:
         if data:
             payload.update(data)
         bus.emit(category, name, payload)
+
+    def emit_perf_totals(self):
+        """Publish cumulative seal/open byte counts and event-loop
+        compaction stats on the ``perf`` category."""
+        self._emit("perf", "crypto_totals", {
+            "bytes_sealed": self.stats["bytes_sealed"],
+            "bytes_opened": self.stats["bytes_opened"],
+            "records_sent": self.stats["records_sent"],
+            "records_received": self.stats["records_received"],
+            "heap_compactions": self.sim.compactions,
+        })
 
     # ------------------------------------------------------------------
     # Key material
@@ -409,6 +425,7 @@ class TcplsSession:
         if store_unacked and self.failover_enabled:
             stream.unacked.append((seq, wire))
         self.stats["records_sent"] += 1
+        self.stats["bytes_sealed"] += len(inner)
         self._emit("tls", "record_sealed", {
             "conn": conn.conn_id, "stream": stream.stream_id,
             "seq": seq, "type": record_type, "length": len(wire),
@@ -418,6 +435,7 @@ class TcplsSession:
 
     def _conn_write(self, conn, data):
         conn.pending_out.append(data)
+        conn.pending_out_bytes += len(data)
         self._drain(conn)
 
     def _drain(self, conn):
@@ -429,6 +447,7 @@ class TcplsSession:
                 break
             conn.tcp.send(head)
             conn.pending_out.popleft()
+            conn.pending_out_bytes -= len(head)
 
     def _conn_budget(self, conn):
         """Bytes the pump may still seal for this connection.
@@ -440,7 +459,7 @@ class TcplsSession:
         """
         if not conn.writable():
             return 0
-        queued = sum(len(d) for d in conn.pending_out)
+        queued = conn.pending_out_bytes
         backlog = conn.tcp.unsent_bytes() + queued
         target = min(self.unsent_target,
                      2 * int(conn.tcp.cc.cwnd) + self.record_payload)
@@ -483,12 +502,18 @@ class TcplsSession:
             flags = rec.FLAG_FIN if last else 0
             control = rec.encode_stream_control(flags)
             size = self._chunk_size(len(control))
-            chunk = bytes(stream.pending[:size])
+            # Zero-copy: hand the pump a view of the app buffer; the
+            # record framer's gather is the send path's only copy.  The
+            # view must be released before the bytearray can shrink.
+            chunk = memoryview(stream.pending)[:size]
+            try:
+                self._send_typed(
+                    conn, rec.RECORD_TYPE_STREAM_DATA, chunk, control,
+                    stream=stream, store_unacked=True,
+                )
+            finally:
+                chunk.release()
             del stream.pending[:size]
-            self._send_typed(
-                conn, rec.RECORD_TYPE_STREAM_DATA, chunk, control,
-                stream=stream, store_unacked=True,
-            )
             if last:
                 stream.fin_sent = True
             sent = True
@@ -520,13 +545,16 @@ class TcplsSession:
             )
             control = group.next_control(fin=last)
             size = self._chunk_size(len(control))
-            chunk = bytes(group.pending[:size])
+            chunk = memoryview(group.pending)[:size]
+            try:
+                for stream in targets:
+                    self._send_typed(
+                        stream.connection, rec.RECORD_TYPE_STREAM_DATA,
+                        chunk, control, stream=stream, store_unacked=True,
+                    )
+            finally:
+                chunk.release()
             del group.pending[:size]
-            for stream in targets:
-                self._send_typed(
-                    stream.connection, rec.RECORD_TYPE_STREAM_DATA, chunk,
-                    control, stream=stream, store_unacked=True,
-                )
             if last:
                 group.fin_sent = True
             sent = True
@@ -653,6 +681,7 @@ class TcplsSession:
             self.stats["demux_drops"] += 1
             return
         stream.mark_decrypted(seq)
+        self.stats["bytes_opened"] += len(plaintext)
         conn.last_stream = stream
         inner = rec.decode_inner(plaintext)
         self._emit("tls", "record_opened", {
@@ -884,6 +913,7 @@ class TcplsSession:
                 failed.alive = False
                 failed.tcp.abort()
                 failed.pending_out.clear()
+                failed.pending_out_bytes = 0
         for stream_id, _resume_seq in entries:
             stream = self.streams.get(stream_id)
             if stream is not None:
@@ -958,6 +988,7 @@ class TcplsSession:
             self._conn_failed(conn, "fin")
         else:
             conn.alive = False
+            self.emit_perf_totals()
 
     def _conn_failed(self, conn, reason):
         if conn.failed:
@@ -966,6 +997,7 @@ class TcplsSession:
         conn.alive = False
         self._emit("session", "conn_failed",
                    {"conn": conn.conn_id, "reason": reason})
+        self.emit_perf_totals()
         if self.on_conn_failed is not None:
             self.on_conn_failed(conn, reason)
         if not self.failover_enabled or not self.ready:
@@ -1028,6 +1060,7 @@ class TcplsSession:
         # Anything sealed but stuck in the dead TCP connection's buffer
         # is covered by the unacked store; drop the queue.
         failed_conn.pending_out.clear()
+        failed_conn.pending_out_bytes = 0
         if self.on_failover is not None:
             self.on_failover(failed_conn, target)
         self._pump()

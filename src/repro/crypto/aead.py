@@ -53,19 +53,36 @@ class Aead:
 
 
 class Chacha20Poly1305(Aead):
-    """RFC 8439 AEAD_CHACHA20_POLY1305."""
+    """RFC 8439 AEAD_CHACHA20_POLY1305.
+
+    The Poly1305 one-time key (ChaCha20 block 0) is cached per nonce:
+    the TCPLS demux pattern verifies a tag and then opens the same
+    record, and sealing authenticates right after encrypting, so the
+    counter-0 block would otherwise be derived twice per record.
+    """
 
     key_size = 32
     name = "chacha20poly1305"
 
+    def __init__(self, key):
+        super().__init__(key)
+        self._poly_cache = (None, None)
+
     def _poly_key(self, nonce):
-        return chacha20_block(self.key, 0, nonce)[:32]
+        cached_nonce, cached_key = self._poly_cache
+        if cached_nonce == nonce:
+            return cached_key
+        poly_key = chacha20_block(self.key, 0, nonce)[:32]
+        self._poly_cache = (bytes(nonce), poly_key)
+        return poly_key
 
     def _auth(self, nonce, ciphertext, aad):
-        mac_data = aad + b"\x00" * ((-len(aad)) % 16)
-        mac_data += ciphertext + b"\x00" * ((-len(ciphertext)) % 16)
-        mac_data += len(aad).to_bytes(8, "little")
-        mac_data += len(ciphertext).to_bytes(8, "little")
+        mac_data = b"".join((
+            aad, b"\x00" * ((-len(aad)) % 16),
+            ciphertext, b"\x00" * ((-len(ciphertext)) % 16),
+            len(aad).to_bytes(8, "little"),
+            len(ciphertext).to_bytes(8, "little"),
+        ))
         return poly1305_mac(self._poly_key(nonce), mac_data)
 
     def seal(self, nonce, plaintext, aad=b""):
@@ -75,7 +92,8 @@ class Chacha20Poly1305(Aead):
     def open(self, nonce, data, aad=b""):
         if len(data) < self.tag_size:
             raise AeadAuthenticationError("record shorter than tag")
-        ciphertext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        view = memoryview(data)
+        ciphertext, tag = view[:-self.tag_size], view[-self.tag_size:]
         expected = self._auth(nonce, ciphertext, aad)
         if not hmac.compare_digest(expected, tag):
             raise AeadAuthenticationError("Poly1305 tag mismatch")
@@ -84,7 +102,8 @@ class Chacha20Poly1305(Aead):
     def verify_tag(self, nonce, data, aad=b""):
         if len(data) < self.tag_size:
             return False
-        ciphertext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        view = memoryview(data)
+        ciphertext, tag = view[:-self.tag_size], view[-self.tag_size:]
         return hmac.compare_digest(self._auth(nonce, ciphertext, aad), tag)
 
 
@@ -128,27 +147,30 @@ class NullTagCipher(Aead):
 
     def _tag(self, nonce, ciphertext, aad):
         mac = hashlib.blake2s(
-            nonce + len(aad).to_bytes(8, "little") + aad + ciphertext,
+            b"".join((nonce, len(aad).to_bytes(8, "little"), aad,
+                      ciphertext)),
             key=self.key,
             digest_size=self.tag_size,
         )
         return mac.digest()
 
     def seal(self, nonce, plaintext, aad=b""):
-        return plaintext + self._tag(nonce, plaintext, aad)
+        return bytes(plaintext) + self._tag(nonce, plaintext, aad)
 
     def open(self, nonce, data, aad=b""):
         if len(data) < self.tag_size:
             raise AeadAuthenticationError("record shorter than tag")
-        plaintext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        view = memoryview(data)
+        plaintext, tag = view[:-self.tag_size], view[-self.tag_size:]
         if not hmac.compare_digest(self._tag(nonce, plaintext, aad), tag):
             raise AeadAuthenticationError("null-tag mismatch")
-        return plaintext
+        return bytes(plaintext)
 
     def verify_tag(self, nonce, data, aad=b""):
         if len(data) < self.tag_size:
             return False
-        plaintext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        view = memoryview(data)
+        plaintext, tag = view[:-self.tag_size], view[-self.tag_size:]
         return hmac.compare_digest(self._tag(nonce, plaintext, aad), tag)
 
 

@@ -1,8 +1,21 @@
 """AES-128 block cipher (FIPS 197), pure Python.
 
-Only what GCM needs: key expansion and single-block encryption.
-Validated against FIPS 197 / NIST vectors in the test suite.
+Only what GCM needs: key expansion, single-block encryption, and a
+batched CTR keystream generator.  Two encryption paths exist:
+
+- :meth:`Aes128.encrypt_block` -- the table-driven fast path.  The
+  SubBytes/ShiftRows/MixColumns round is collapsed into four 256-entry
+  32-bit lookup tables (the classic "T-table" formulation), turning a
+  round into 16 table lookups and a handful of XORs on machine words.
+- :meth:`Aes128.encrypt_block_reference` -- the original byte-wise
+  implementation, retained verbatim as the cross-validation oracle.
+
+Both are validated against FIPS 197 / NIST vectors, and the fast path
+is property-tested byte-identical to the reference on random inputs
+(tests/crypto/test_fastpath_equivalence.py).
 """
+
+import struct
 
 _SBOX = [
     0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
@@ -39,6 +52,46 @@ def _xtime(a):
     return a & 0xFF
 
 
+def _build_t_tables():
+    """T-tables: per state byte, its 32-bit MixColumns column
+    contribution after SubBytes (row 0 in the most significant byte)."""
+    t0, t1, t2, t3 = [0] * 256, [0] * 256, [0] * 256, [0] * 256
+    for x in range(256):
+        s = _SBOX[x]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        t0[x] = (s2 << 24) | (s << 16) | (s << 8) | s3
+        t1[x] = (s3 << 24) | (s2 << 16) | (s << 8) | s
+        t2[x] = (s << 24) | (s3 << 16) | (s2 << 8) | s
+        t3[x] = (s << 24) | (s << 16) | (s3 << 8) | s2
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_t_tables()
+
+_MASK32 = 0xFFFFFFFF
+_UNPACK4 = struct.Struct(">4I")
+_UNPACK3 = struct.Struct(">3I")
+
+# Optional vectorised CTR batch path: every counter block is independent,
+# so the T-table lookups become numpy gathers across the whole batch.
+# Gated -- the scalar loop below is the fallback (and the oracle the
+# numpy path is property-tested against).
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
+if _np is not None:
+    _T0_NP = _np.array(_T0, dtype=_np.uint32)
+    _T1_NP = _np.array(_T1, dtype=_np.uint32)
+    _T2_NP = _np.array(_T2, dtype=_np.uint32)
+    _T3_NP = _np.array(_T3, dtype=_np.uint32)
+    _SBOX_NP = _np.array(_SBOX, dtype=_np.uint32)
+
+_NP_MIN_BLOCKS = 8  # below this, per-call numpy overhead loses
+
+
 class Aes128:
     """AES-128 with a precomputed key schedule."""
 
@@ -46,6 +99,11 @@ class Aes128:
         if len(key) != 16:
             raise ValueError("AES-128 key must be 16 bytes")
         self._round_keys = self._expand_key(key)
+        # Round keys as 44 big-endian 32-bit column words (fast path).
+        self._rk = [
+            int.from_bytes(bytes(rk[i:i + 4]), "big")
+            for rk in self._round_keys for i in range(0, 16, 4)
+        ]
 
     @staticmethod
     def _expand_key(key):
@@ -60,8 +118,108 @@ class Aes128:
         return [sum((words[4 * r + c] for c in range(4)), [])
                 for r in range(11)]
 
+    def _encrypt_words(self, s0, s1, s2, s3):
+        """Ten T-table rounds over the four column words."""
+        rk = self._rk
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        s0 ^= rk[0]
+        s1 ^= rk[1]
+        s2 ^= rk[2]
+        s3 ^= rk[3]
+        k = 4
+        for _ in range(9):
+            u0 = (t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                  ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[k])
+            u1 = (t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                  ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[k + 1])
+            u2 = (t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                  ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[k + 2])
+            u3 = (t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                  ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[k + 3])
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            k += 4
+        sb = _SBOX
+        r0 = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 0xFF] << 16)
+              | (sb[(s2 >> 8) & 0xFF] << 8) | sb[s3 & 0xFF]) ^ rk[40]
+        r1 = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 0xFF] << 16)
+              | (sb[(s3 >> 8) & 0xFF] << 8) | sb[s0 & 0xFF]) ^ rk[41]
+        r2 = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 0xFF] << 16)
+              | (sb[(s0 >> 8) & 0xFF] << 8) | sb[s1 & 0xFF]) ^ rk[42]
+        r3 = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 0xFF] << 16)
+              | (sb[(s1 >> 8) & 0xFF] << 8) | sb[s2 & 0xFF]) ^ rk[43]
+        return r0, r1, r2, r3
+
     def encrypt_block(self, block):
-        """Encrypt one 16-byte block."""
+        """Encrypt one 16-byte block (table-driven fast path)."""
+        s0, s1, s2, s3 = _UNPACK4.unpack(block)
+        return _UNPACK4.pack(*self._encrypt_words(s0, s1, s2, s3))
+
+    def ctr_keystream(self, prefix, counter, nblocks):
+        """Concatenated keystream E_K(prefix || (counter + i) mod 2^32)
+        for i in 0..nblocks-1.
+
+        ``prefix`` is the 12-byte nonce part of the counter block; only
+        the trailing 32-bit word varies, so the three fixed words are
+        unpacked once for the whole batch.  Large batches go through the
+        numpy-gather path when numpy is available.
+        """
+        if _np is not None and nblocks >= _NP_MIN_BLOCKS:
+            return self._ctr_keystream_np(prefix, counter, nblocks)
+        p0, p1, p2 = _UNPACK3.unpack(prefix)
+        out = bytearray(16 * nblocks)
+        pack_into = _UNPACK4.pack_into
+        encrypt = self._encrypt_words
+        for i in range(nblocks):
+            words = encrypt(p0, p1, p2, (counter + i) & _MASK32)
+            pack_into(out, 16 * i, *words)
+        return bytes(out)
+
+    def _ctr_keystream_np(self, prefix, counter, nblocks):
+        """CTR batch with the T-table lookups as numpy gathers."""
+        rk = self._rk
+        p0, p1, p2 = _UNPACK3.unpack(prefix)
+        t0, t1, t2, t3 = _T0_NP, _T1_NP, _T2_NP, _T3_NP
+        s0 = _np.full(nblocks, (p0 ^ rk[0]) & _MASK32, dtype=_np.uint32)
+        s1 = _np.full(nblocks, (p1 ^ rk[1]) & _MASK32, dtype=_np.uint32)
+        s2 = _np.full(nblocks, (p2 ^ rk[2]) & _MASK32, dtype=_np.uint32)
+        s3 = (_np.arange(counter, counter + nblocks, dtype=_np.uint64)
+              .astype(_np.uint32)) ^ _np.uint32(rk[3])
+        k = 4
+        for _ in range(9):
+            u0 = (t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                  ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF]
+                  ^ _np.uint32(rk[k]))
+            u1 = (t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                  ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF]
+                  ^ _np.uint32(rk[k + 1]))
+            u2 = (t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                  ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF]
+                  ^ _np.uint32(rk[k + 2]))
+            u3 = (t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                  ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF]
+                  ^ _np.uint32(rk[k + 3]))
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            k += 4
+        sb = _SBOX_NP
+        out = _np.empty((nblocks, 4), dtype=_np.uint32)
+        out[:, 0] = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 0xFF] << 16)
+                     | (sb[(s2 >> 8) & 0xFF] << 8) | sb[s3 & 0xFF]) \
+            ^ _np.uint32(rk[40])
+        out[:, 1] = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 0xFF] << 16)
+                     | (sb[(s3 >> 8) & 0xFF] << 8) | sb[s0 & 0xFF]) \
+            ^ _np.uint32(rk[41])
+        out[:, 2] = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 0xFF] << 16)
+                     | (sb[(s0 >> 8) & 0xFF] << 8) | sb[s1 & 0xFF]) \
+            ^ _np.uint32(rk[42])
+        out[:, 3] = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 0xFF] << 16)
+                     | (sb[(s1 >> 8) & 0xFF] << 8) | sb[s2 & 0xFF]) \
+            ^ _np.uint32(rk[43])
+        return out.astype(">u4").tobytes()
+
+    # -- reference implementation (cross-validation oracle) --------------
+
+    def encrypt_block_reference(self, block):
+        """Encrypt one 16-byte block (original byte-wise path)."""
         state = [block[i] ^ self._round_keys[0][i] for i in range(16)]
         for round_index in range(1, 10):
             state = self._round(state, self._round_keys[round_index],

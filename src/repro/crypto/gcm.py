@@ -1,4 +1,17 @@
-"""Galois/Counter Mode (NIST SP 800-38D) over AES-128."""
+"""Galois/Counter Mode (NIST SP 800-38D) over AES-128.
+
+Hot-path layout: GHASH is table-driven -- key setup precomputes, per
+byte position, a 256-entry table of GF(2^128) products, so hashing one
+16-byte block costs 16 table lookups and XORs instead of the 127-round
+per-bit loop.  The per-bit loop (:func:`_gf_mult`) and
+:meth:`Ghash.digest_reference` are retained as the cross-validation
+oracle (tests/crypto/test_fastpath_equivalence.py proves the two paths
+byte-identical on random inputs).
+
+CTR keystream generation is batched through
+:meth:`~repro.crypto.aes.Aes128.ctr_keystream` and the plaintext XOR is
+done as one wide integer operation instead of a per-byte generator.
+"""
 
 import struct
 
@@ -8,7 +21,11 @@ _R = 0xE1000000000000000000000000000000
 
 
 def _gf_mult(x, y):
-    """Carry-less multiplication in GF(2^128) with the GCM polynomial."""
+    """Carry-less multiplication in GF(2^128) with the GCM polynomial.
+
+    Reference implementation (per-bit); the sealing path uses the
+    precomputed tables below.
+    """
     z = 0
     v = x
     for i in range(127, -1, -1):
@@ -21,29 +38,95 @@ def _gf_mult(x, y):
     return z
 
 
+def _build_ghash_tables(h):
+    """16 tables of 256 entries: ``tables[k][b] = (b << 8*(15-k)) * H``.
+
+    GF(2^128) multiplication is linear over the input bits, so the
+    product ``X * H`` is the XOR of per-byte contributions.  Single-bit
+    multiples come from repeated multiplication by x (a shift with
+    conditional reduction); byte tables build incrementally from their
+    lowest set bit, so construction is ~4k XORs, not 4k field mults.
+    """
+    mult = [0] * 128          # mult[i] = (1 << i) * H, integer bit index
+    v = h
+    for i in range(127, -1, -1):
+        mult[i] = v
+        v = (v >> 1) ^ _R if v & 1 else v >> 1
+    tables = []
+    for k in range(16):       # byte position, 0 = most significant
+        base = 8 * (15 - k)
+        table = [0] * 256
+        for b in range(1, 256):
+            low = b & -b
+            table[b] = table[b ^ low] ^ mult[base + low.bit_length() - 1]
+        tables.append(table)
+    return tables
+
+
 class Ghash:
     """GHASH universal hash keyed by H = E_K(0^128)."""
 
     def __init__(self, h_key):
         self._h = int.from_bytes(h_key, "big")
+        self._tables = _build_ghash_tables(self._h)
+
+    def _mul_h(self, x):
+        """Table-driven ``x * H``: one lookup per input byte."""
+        y = 0
+        shift = 120
+        for table in self._tables:
+            y ^= table[(x >> shift) & 0xFF]
+            shift -= 8
+        return y
+
+    def _fold(self, y, data):
+        """Absorb ``data`` block-by-block without materialising a padded
+        block list; the tail is padded arithmetically (a left shift) in
+        place of a scratch copy."""
+        n = len(data)
+        full = n - (n % 16)
+        mul_h = self._mul_h
+        for i in range(0, full, 16):
+            y = mul_h(y ^ int.from_bytes(data[i:i + 16], "big"))
+        if full != n:
+            tail = int.from_bytes(data[full:], "big") << (8 * (16 - n + full))
+            y = mul_h(y ^ tail)
+        return y
 
     def digest(self, aad, ciphertext):
-        y = 0
-        for block in self._blocks(aad) + self._blocks(ciphertext):
-            y = _gf_mult(y ^ int.from_bytes(block, "big"), self._h)
+        y = self._fold(0, aad)
+        y = self._fold(y, ciphertext)
         lengths = struct.pack("!QQ", len(aad) * 8, len(ciphertext) * 8)
-        y = _gf_mult(y ^ int.from_bytes(lengths, "big"), self._h)
+        y = self._mul_h(y ^ int.from_bytes(lengths, "big"))
         return y.to_bytes(16, "big")
 
-    @staticmethod
-    def _blocks(data):
-        blocks = []
-        for i in range(0, len(data), 16):
-            chunk = data[i:i + 16]
-            if len(chunk) < 16:
-                chunk = chunk + b"\x00" * (16 - len(chunk))
-            blocks.append(chunk)
-        return blocks
+    def digest_reference(self, aad, ciphertext):
+        """Per-bit reference GHASH (validation oracle for the tables)."""
+        h = self._h
+        y = 0
+        for data in (aad, ciphertext):
+            n = len(data)
+            full = n - (n % 16)
+            for i in range(0, full, 16):
+                y = _gf_mult(y ^ int.from_bytes(data[i:i + 16], "big"), h)
+            if full != n:
+                tail = int.from_bytes(data[full:], "big") \
+                    << (8 * (16 - n + full))
+                y = _gf_mult(y ^ tail, h)
+        lengths = struct.pack("!QQ", len(aad) * 8, len(ciphertext) * 8)
+        y = _gf_mult(y ^ int.from_bytes(lengths, "big"), h)
+        return y.to_bytes(16, "big")
+
+
+def _xor_bytes(data, stream):
+    """XOR ``data`` with a same-or-longer keystream as wide integers."""
+    n = len(data)
+    if not n:
+        return b""
+    if len(stream) != n:
+        stream = stream[:n]
+    return (int.from_bytes(data, "big")
+            ^ int.from_bytes(stream, "big")).to_bytes(n, "big")
 
 
 class AesGcm:
@@ -56,49 +139,45 @@ class AesGcm:
         self._ghash = Ghash(self._aes.encrypt_block(b"\x00" * 16))
 
     def _ctr_stream(self, j0, length):
-        out = bytearray()
+        if not length:
+            return b""
         counter = int.from_bytes(j0[12:], "big")
-        prefix = j0[:12]
-        for _ in range((length + 15) // 16):
-            counter = (counter + 1) & 0xFFFFFFFF
-            out += self._aes.encrypt_block(prefix + counter.to_bytes(4, "big"))
-        return bytes(out[:length])
+        return self._aes.ctr_keystream(
+            j0[:12], counter + 1, (length + 15) // 16
+        )
 
     def encrypt(self, nonce, plaintext, aad=b""):
         """Returns ciphertext || 16-byte tag."""
         if len(nonce) != 12:
             raise ValueError("GCM nonce must be 12 bytes")
         j0 = nonce + b"\x00\x00\x00\x01"
-        stream = self._ctr_stream(j0, len(plaintext))
-        ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+        ciphertext = _xor_bytes(plaintext, self._ctr_stream(j0,
+                                                            len(plaintext)))
         s = self._ghash.digest(aad, ciphertext)
-        tag_stream = self._aes.encrypt_block(j0)
-        tag = bytes(a ^ b for a, b in zip(s, tag_stream))
+        tag = _xor_bytes(s, self._aes.encrypt_block(j0))
         return ciphertext + tag
 
     def decrypt(self, nonce, data, aad=b""):
         """Returns plaintext, or None if the tag does not verify."""
         if len(data) < self.TAG_LENGTH:
             return None
-        ciphertext, tag = data[:-self.TAG_LENGTH], data[-self.TAG_LENGTH:]
+        view = memoryview(data)
+        ciphertext, tag = view[:-self.TAG_LENGTH], view[-self.TAG_LENGTH:]
         j0 = nonce + b"\x00\x00\x00\x01"
         s = self._ghash.digest(aad, ciphertext)
-        tag_stream = self._aes.encrypt_block(j0)
-        expected = bytes(a ^ b for a, b in zip(s, tag_stream))
+        expected = _xor_bytes(s, self._aes.encrypt_block(j0))
         if expected != tag:
             return None
-        stream = self._ctr_stream(j0, len(ciphertext))
-        return bytes(a ^ b for a, b in zip(ciphertext, stream))
+        return _xor_bytes(ciphertext, self._ctr_stream(j0, len(ciphertext)))
 
     def verify_tag(self, nonce, data, aad=b""):
         """Tag check without producing plaintext (Encrypt-then-MAC-style
         cheap trial used by TCPLS stream demux)."""
         if len(data) < self.TAG_LENGTH:
             return False
-        ciphertext, tag = data[:-self.TAG_LENGTH], data[-self.TAG_LENGTH:]
+        view = memoryview(data)
+        ciphertext, tag = view[:-self.TAG_LENGTH], view[-self.TAG_LENGTH:]
         j0 = nonce + b"\x00\x00\x00\x01"
         s = self._ghash.digest(aad, ciphertext)
-        expected = bytes(
-            a ^ b for a, b in zip(s, self._aes.encrypt_block(j0))
-        )
+        expected = _xor_bytes(s, self._aes.encrypt_block(j0))
         return expected == tag

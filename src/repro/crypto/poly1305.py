@@ -4,16 +4,31 @@ P1305 = (1 << 130) - 5
 
 
 def poly1305_mac(key, message):
-    """16-byte tag over ``message`` with a 32-byte one-time key."""
+    """16-byte tag over ``message`` with a 32-byte one-time key.
+
+    The per-chunk high bit is added arithmetically (``+ 2^(8*len)``)
+    instead of concatenating ``b"\\x01"`` onto every 16-byte slice, so
+    the loop allocates nothing beyond the chunk integers themselves.
+    """
     if len(key) != 32:
         raise ValueError("Poly1305 key must be 32 bytes")
     r = int.from_bytes(key[:16], "little")
     r &= 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF  # clamp
     s = int.from_bytes(key[16:], "little")
     accumulator = 0
-    for i in range(0, len(message), 16):
-        chunk = message[i:i + 16]
-        n = int.from_bytes(chunk + b"\x01", "little")
-        accumulator = ((accumulator + n) * r) % P1305
+    n = len(message)
+    full = n - (n % 16)
+    high_bit = 1 << 128
+    for i in range(0, full, 16):
+        accumulator = (
+            accumulator + high_bit
+            + int.from_bytes(message[i:i + 16], "little")
+        ) * r % P1305
+    if full != n:
+        tail = message[full:]
+        accumulator = (
+            accumulator + (1 << (8 * len(tail)))
+            + int.from_bytes(tail, "little")
+        ) * r % P1305
     tag = (accumulator + s) & ((1 << 128) - 1)
     return tag.to_bytes(16, "little")

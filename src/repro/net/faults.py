@@ -305,6 +305,7 @@ class BitCorruption(Fault):
         if self.mode == "drop" or not data or not hasattr(seg, "replace"):
             self.dropped += 1
             return DROP
+        data = bytes(data)  # payloads may be zero-copy memoryviews
         i = self.rng.randrange(len(data))
         flipped = data[i] ^ (1 << self.rng.randrange(8))
         packet.payload = seg.replace(

@@ -4,11 +4,23 @@ Every other component in the repository (TCP stack, TCPLS sessions,
 MPTCP and QUIC baselines) runs on top of this event loop.  Time is a
 float in seconds.  Events with equal timestamps fire in the order they
 were scheduled, which keeps every experiment reproducible bit-for-bit.
+
+Cancellation is lazy: a cancelled event stays in the heap and is
+skipped when popped.  The TCP retransmission timer cancels and re-arms
+on every ACK, so under bulk transfer most of the heap can end up being
+dead timers; the simulator therefore counts cancellations and compacts
+the heap (filter + heapify) once cancelled entries dominate.
+Compaction cannot change firing order -- the heap order is total over
+``(time, seq)`` -- so traces are bit-identical with or without it.
 """
 
 import heapq
 import itertools
 import random
+
+#: never compact below this many cancelled entries (tiny heaps are
+#: cheaper to pop through than to rebuild).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
@@ -19,18 +31,24 @@ class Event:
     that was satisfied by an ACK).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time, seq, fn, args):
+    def __init__(self, time, seq, fn, args, sim=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self):
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,6 +73,11 @@ class Simulator:
         self._queue = []
         self._seq = itertools.count()
         self._running = False
+        #: cancelled-but-still-queued event count; keeps
+        #: :attr:`pending_events` O(1) and drives compaction.
+        self._cancelled = 0
+        #: number of heap compactions performed (perf observability).
+        self.compactions = 0
         #: the simulation-wide observability bus (see :mod:`repro.obs`);
         #: emission is a near-no-op until something subscribes.
         self.bus = EventBus(self)
@@ -71,9 +94,36 @@ class Simulator:
             raise ValueError(
                 "cannot schedule into the past: time=%r < now=%r" % (time, self.now)
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, self)
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self):
+        """An in-queue event was cancelled; compact if dead entries
+        dominate the heap."""
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(self._queue)):
+            self._compact()
+
+    def _compact(self):
+        """Drop cancelled entries and re-heapify.
+
+        Heap order is total over ``(time, seq)``, so rebuilding the heap
+        from the survivors pops in exactly the same order the lazy path
+        would have produced.
+        """
+        before = len(self._queue)
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.compactions += 1
+        if self.bus.wants("perf"):
+            self.bus.emit("perf", "heap_compaction", {
+                "before": before,
+                "after": len(self._queue),
+                "compactions": self.compactions,
+            })
 
     def run(self, until=None, max_events=None):
         """Drain the event queue.
@@ -96,7 +146,11 @@ class Simulator:
                     self.now = until
                     break
                 heapq.heappop(self._queue)
+                # Detach so a cancel() after firing (or after this pop)
+                # cannot skew the in-queue cancelled count.
+                event._sim = None
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 self.now = event.time
                 event.fn(*event.args)
@@ -136,5 +190,5 @@ class Simulator:
 
     @property
     def pending_events(self):
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return len(self._queue) - self._cancelled

@@ -29,9 +29,12 @@ CAT_RECOVERY = "recovery"
 CAT_LINK = "link"
 #: Coupled-group record scheduler decisions.
 CAT_SCHEDULER = "scheduler"
+#: Performance counters: per-run seal/open byte totals, event-loop heap
+#: compactions (emitted by the simulator and session hot paths).
+CAT_PERF = "perf"
 
 ALL_CATEGORIES = (CAT_TCP, CAT_TLS, CAT_SESSION, CAT_RECOVERY, CAT_LINK,
-                  CAT_SCHEDULER)
+                  CAT_SCHEDULER, CAT_PERF)
 
 
 class Event:

@@ -4,55 +4,116 @@ The send buffer retains unacknowledged bytes addressed by absolute
 sequence number; the receive buffer reassembles in-order data from
 possibly out-of-order, overlapping segments and exposes a read queue
 with back-pressure (its free space is the advertised window).
+
+Hot-path layout: the send buffer keeps application writes as a list of
+*immutable* chunks so :meth:`SendBuffer.peek` can hand out zero-copy
+``memoryview`` slices -- the segment payload and the TLS record it is
+sealed into reference the application's bytes instead of copying them
+twice more.  Immutability matters: a live memoryview over a resizable
+``bytearray`` would make releasing acked data a ``BufferError``.
 """
+
+from bisect import bisect_right
 
 
 class SendBuffer:
     """Bytes the application queued, addressed by sequence number.
 
     ``base_seq`` tracks the lowest unacknowledged byte; data below it
-    has been freed.  ``next_new`` is where the next app write lands.
+    has been freed.  Chunks are freed lazily: an index (``_head``)
+    advances past fully-acked chunks and the chunk list compacts only
+    once dead entries dominate, so ``ack_to`` is amortised O(1) instead
+    of a memmove of the whole buffer per ACK.
     """
 
     def __init__(self, base_seq, capacity=None):
         self.base_seq = base_seq
         self.capacity = capacity
-        self._chunks = bytearray()
+        self._chunks = []      # immutable bytes objects
+        self._ends = []        # absolute end seq of each chunk (sorted)
+        self._head = 0         # index of first chunk with live bytes
+        self._end_seq = base_seq
 
     def __len__(self):
-        return len(self._chunks)
+        return self._end_seq - self.base_seq
 
     @property
     def end_seq(self):
-        return self.base_seq + len(self._chunks)
+        return self._end_seq
 
     def free_space(self):
         if self.capacity is None:
             return float("inf")
-        return self.capacity - len(self._chunks)
+        return self.capacity - len(self)
 
     def write(self, data):
-        """Append application data; returns bytes accepted."""
+        """Append application data; returns bytes accepted.
+
+        ``bytes`` input is retained by reference (no copy); anything
+        else, or a clamped write, is copied once into an immutable
+        chunk.
+        """
         accept = len(data)
         if self.capacity is not None:
-            accept = min(accept, max(self.capacity - len(self._chunks), 0))
-        self._chunks += data[:accept]
+            accept = min(accept, max(self.capacity - len(self), 0))
+        if not accept:
+            return 0
+        if accept == len(data) and type(data) is bytes:
+            chunk = data
+        else:
+            chunk = bytes(memoryview(data)[:accept])
+        self._chunks.append(chunk)
+        self._end_seq += accept
+        self._ends.append(self._end_seq)
         return accept
 
     def peek(self, seq, length):
-        """Read ``length`` bytes starting at absolute ``seq``."""
+        """Read up to ``length`` bytes starting at absolute ``seq``.
+
+        Returns a zero-copy ``memoryview`` when the range lies inside a
+        single chunk (the common case: MSS-sized reads of MSS-or-larger
+        writes), else a gathered ``bytes``.
+        """
         if seq < self.base_seq:
             raise ValueError("peek below base_seq (already acked)")
-        offset = seq - self.base_seq
-        return bytes(self._chunks[offset:offset + length])
+        end = min(seq + length, self._end_seq)
+        if seq >= end:
+            return b""
+        i = bisect_right(self._ends, seq, self._head)
+        chunk = self._chunks[i]
+        offset = seq - (self._ends[i] - len(chunk))
+        if end <= self._ends[i]:
+            return memoryview(chunk)[offset:offset + (end - seq)]
+        parts = [memoryview(chunk)[offset:]]
+        need = (end - seq) - len(parts[0])
+        while need > 0:
+            i += 1
+            chunk = self._chunks[i]
+            take = chunk if len(chunk) <= need else memoryview(chunk)[:need]
+            parts.append(take)
+            need -= len(take)
+        return b"".join(parts)
 
     def ack_to(self, seq):
         """Release everything below absolute ``seq``; returns bytes freed."""
         if seq <= self.base_seq:
             return 0
-        freed = min(seq - self.base_seq, len(self._chunks))
-        del self._chunks[:freed]
+        freed = min(seq, self._end_seq) - self.base_seq
         self.base_seq += freed
+        head = self._head
+        ends = self._ends
+        n = len(ends)
+        while head < n and ends[head] <= self.base_seq:
+            head += 1
+        self._head = head
+        if head == n:
+            self._chunks.clear()
+            self._ends.clear()
+            self._head = 0
+        elif head > 32 and head * 2 > n:
+            self._chunks = self._chunks[head:]
+            self._ends = ends[head:]
+            self._head = 0
         return freed
 
 
@@ -62,7 +123,9 @@ class ReceiveBuffer:
     Out-of-order data is kept in a segment map keyed by sequence number;
     when the gap fills, contiguous bytes move to the readable queue.
     ``capacity`` bounds readable + buffered out-of-order data and is the
-    basis of the advertised receive window.
+    basis of the advertised receive window.  The out-of-order byte total
+    is maintained incrementally so :meth:`window` -- computed for every
+    outgoing segment -- is O(1).
     """
 
     def __init__(self, rcv_nxt, capacity=1 << 20):
@@ -70,10 +133,11 @@ class ReceiveBuffer:
         self.capacity = capacity
         self._readable = bytearray()
         self._ooo = {}
+        self._ooo_bytes = 0
 
     def window(self):
         """Advertised window: free space."""
-        used = len(self._readable) + sum(len(d) for d in self._ooo.values())
+        used = len(self._readable) + self._ooo_bytes
         return max(self.capacity - used, 0)
 
     def readable_bytes(self):
@@ -99,8 +163,12 @@ class ReceiveBuffer:
             return 0  # absurdly far ahead; drop
         if seq > self.rcv_nxt:
             existing = self._ooo.get(seq)
-            if existing is None or len(existing) < len(data):
+            if existing is None:
                 self._ooo[seq] = data
+                self._ooo_bytes += len(data)
+            elif len(existing) < len(data):
+                self._ooo[seq] = data
+                self._ooo_bytes += len(data) - len(existing)
             return 0
         # In-order: deliver, then drain any now-contiguous segments.
         delivered = len(data)
@@ -112,6 +180,7 @@ class ReceiveBuffer:
                 break
             seq2, data2 = nxt
             del self._ooo[seq2]
+            self._ooo_bytes -= len(data2)
             if seq2 + len(data2) <= self.rcv_nxt:
                 continue
             if seq2 < self.rcv_nxt:

@@ -31,6 +31,14 @@ from repro.tcp.ranges import RangeSet
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segment import Segment
 
+# Hot-path flag sets: prebuilt frozensets so per-segment construction
+# does not rebuild (and revalidate) a set on every send.
+FLAGS_ACK = frozenset({"ACK"})
+FLAGS_SYN = frozenset({"SYN"})
+FLAGS_SYN_ACK = frozenset({"SYN", "ACK"})
+FLAGS_FIN_ACK = frozenset({"FIN", "ACK"})
+FLAGS_RST = frozenset({"RST"})
+
 # Connection states
 CLOSED = "CLOSED"
 SYN_SENT = "SYN_SENT"
@@ -186,7 +194,7 @@ class TcpConnection:
                 self._tfo_data = payload
                 self.snd_buf.write(payload)
         self._send_segment(
-            flags={"SYN"}, seq=self.iss, options=options, payload=payload
+            flags=FLAGS_SYN, seq=self.iss, options=options, payload=payload
         )
         self.snd_nxt = self.iss + 1 + len(payload)
         self._arm_rto()
@@ -219,7 +227,7 @@ class TcpConnection:
                     FastOpenOption(self.stack.tfo_make_cookie(packet.src))
                 )
         self._send_segment(
-            flags={"SYN", "ACK"},
+            flags=FLAGS_SYN_ACK,
             seq=self.iss,
             ack=self.rcv_buf.rcv_nxt,
             options=options,
@@ -284,7 +292,7 @@ class TcpConnection:
     def abort(self):
         """Hard close: send RST, drop all state."""
         if self.state not in (CLOSED, TIME_WAIT):
-            self._send_segment(flags={"RST"}, seq=self.snd_nxt)
+            self._send_segment(flags=FLAGS_RST, seq=self.snd_nxt)
         self._enter_closed(notify=False)
 
     def set_user_timeout(self, seconds):
@@ -365,7 +373,7 @@ class TcpConnection:
                 break
             payload = self.snd_buf.peek(self.snd_nxt, size)
             self._send_segment(
-                flags={"ACK"},
+                flags=FLAGS_ACK,
                 seq=self.snd_nxt,
                 ack=self._ack_value(),
                 payload=payload,
@@ -383,7 +391,7 @@ class TcpConnection:
                 and self.snd_nxt == self.snd_buf.end_seq):
             self._fin_seq = self.snd_nxt
             self._send_segment(
-                flags={"FIN", "ACK"}, seq=self.snd_nxt, ack=self._ack_value()
+                flags=FLAGS_FIN_ACK, seq=self.snd_nxt, ack=self._ack_value()
             )
             self.snd_nxt += 1
             self._fin_sent = True
@@ -421,7 +429,7 @@ class TcpConnection:
         options = ()
         if self.rcv_buf is not None and self.rcv_buf.has_gap():
             options = (SackOption(self.rcv_buf.sack_blocks()),)
-        self._send_segment(flags={"ACK"}, seq=self.snd_nxt,
+        self._send_segment(flags=FLAGS_ACK, seq=self.snd_nxt,
                            ack=self._ack_value(), options=options)
 
     # -- SACK scoreboard (RFC 6675 style) ---------------------------------
@@ -478,7 +486,7 @@ class TcpConnection:
             if self._fin_sent and self._fin_seq is not None and \
                     seq >= self._fin_seq:
                 self._lost.subtract(seq, end)
-                self._send_segment(flags={"FIN", "ACK"}, seq=self._fin_seq,
+                self._send_segment(flags=FLAGS_FIN_ACK, seq=self._fin_seq,
                                    ack=self._ack_value())
                 self.retransmissions += 1
                 sent = True
@@ -488,7 +496,7 @@ class TcpConnection:
                 self._lost.subtract(seq, hole[1])
                 continue
             payload = self.snd_buf.peek(seq, end - seq)
-            self._send_segment(flags={"ACK"}, seq=seq, ack=self._ack_value(),
+            self._send_segment(flags=FLAGS_ACK, seq=seq, ack=self._ack_value(),
                                payload=payload)
             self._lost.subtract(seq, end)      # back in flight
             self._rexmitted.add(seq, end)
@@ -517,7 +525,7 @@ class TcpConnection:
         if self.snd_buf.end_seq > self.snd_nxt:
             # One-byte window probe; the ACK carries the fresh window.
             payload = self.snd_buf.peek(self.snd_nxt, 1)
-            self._send_segment(flags={"ACK"}, seq=self.snd_nxt,
+            self._send_segment(flags=FLAGS_ACK, seq=self.snd_nxt,
                                ack=self._ack_value(), payload=payload)
             self.snd_nxt += 1
             self._persist_backoff += 1
@@ -557,13 +565,13 @@ class TcpConnection:
                 options.append(
                     FastOpenOption(self.stack.tfo_cookie_for(self.remote.addr))
                 )
-            self._send_segment(flags={"SYN"}, seq=self.iss, options=options,
+            self._send_segment(flags=FLAGS_SYN, seq=self.iss, options=options,
                                payload=self._tfo_data)
             self._arm_rto()
             return
         if self.state == SYN_RCVD:
             self._rto_backoff += 1
-            self._send_segment(flags={"SYN", "ACK"}, seq=self.iss,
+            self._send_segment(flags=FLAGS_SYN_ACK, seq=self.iss,
                                ack=self._ack_value(),
                                options=[MssOption(self.mss)])
             self._arm_rto()
@@ -587,7 +595,7 @@ class TcpConnection:
     def _retransmit_first_unacked(self):
         seq = max(self.snd_una, self.snd_buf.base_seq)
         if self._fin_sent and seq >= (self._fin_seq or 0):
-            self._send_segment(flags={"FIN", "ACK"}, seq=self._fin_seq,
+            self._send_segment(flags=FLAGS_FIN_ACK, seq=self._fin_seq,
                                ack=self._ack_value())
             self.retransmissions += 1
             return
@@ -596,7 +604,7 @@ class TcpConnection:
         if length <= 0:
             return
         payload = self.snd_buf.peek(seq, length)
-        self._send_segment(flags={"ACK"}, seq=seq, ack=self._ack_value(),
+        self._send_segment(flags=FLAGS_ACK, seq=seq, ack=self._ack_value(),
                            payload=payload)
         self.retransmissions += 1
         if self._rtt_seq is not None and self._rtt_seq <= seq + length:
@@ -656,7 +664,7 @@ class TcpConnection:
     def _rx_syn_rcvd(self, segment):
         if segment.is_syn and not segment.is_ack:
             # Duplicate SYN: retransmit SYN-ACK.
-            self._send_segment(flags={"SYN", "ACK"}, seq=self.iss,
+            self._send_segment(flags=FLAGS_SYN_ACK, seq=self.iss,
                                ack=self._ack_value(),
                                options=[MssOption(self.mss)])
             return

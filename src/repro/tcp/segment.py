@@ -11,6 +11,8 @@ TCP_HEADER_BYTES = 20
 
 VALID_FLAGS = frozenset({"SYN", "ACK", "FIN", "RST", "PSH", "URG"})
 
+_NO_FLAGS = frozenset()
+
 
 class Segment:
     """One TCP segment.
@@ -24,19 +26,25 @@ class Segment:
         "options", "payload",
     )
 
-    def __init__(self, src_port, dst_port, seq=0, ack=0, flags=frozenset(),
+    def __init__(self, src_port, dst_port, seq=0, ack=0, flags=_NO_FLAGS,
                  window=65535, options=(), payload=b""):
-        unknown = set(flags) - VALID_FLAGS
-        if unknown:
-            raise ValueError("unknown TCP flags: %s" % sorted(unknown))
+        if flags is not _NO_FLAGS:
+            flags = flags if type(flags) is frozenset else frozenset(flags)
+            if not flags <= VALID_FLAGS:
+                raise ValueError(
+                    "unknown TCP flags: %s" % sorted(flags - VALID_FLAGS))
         self.src_port = src_port
         self.dst_port = dst_port
         self.seq = seq
         self.ack = ack
-        self.flags = frozenset(flags)
+        self.flags = flags
         self.window = window
         self.options = tuple(options)
-        self.payload = bytes(payload)
+        # bytes and memoryview are immutable(-over-bytes) -- keep the
+        # caller's object so SendBuffer.peek slices travel copy-free all
+        # the way into the sealed record.
+        self.payload = (payload if type(payload) in (bytes, memoryview)
+                        else bytes(payload))
 
     def replace(self, **kwargs):
         """Copy with some fields replaced (middlebox-safe mutation)."""

@@ -1,0 +1,174 @@
+"""Property tests: every crypto fast path is byte-identical to the
+retained reference implementation.
+
+The hot paths introduced by the performance pass (T-table AES, batched
+CTR keystream, table-driven GHASH, the inlined and SWAR-batched ChaCha20
+cores) all keep their original implementations as oracles; Hypothesis
+drives random keys/nonces/AAD/lengths through both and demands equality.
+A deterministic 65536-byte case covers the large-batch paths explicitly.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import Aes128Gcm, Chacha20Poly1305
+from repro.crypto.aes import Aes128
+from repro.crypto.chacha20 import (
+    _SWAR_MIN_BLOCKS,
+    chacha20_block,
+    chacha20_block_reference,
+    chacha20_encrypt,
+)
+from repro.crypto.gcm import Ghash
+from repro.crypto.poly1305 import P1305, poly1305_mac
+
+KEY16 = st.binary(min_size=16, max_size=16)
+KEY32 = st.binary(min_size=32, max_size=32)
+NONCE12 = st.binary(min_size=12, max_size=12)
+BLOCK16 = st.binary(min_size=16, max_size=16)
+DATA = st.binary(max_size=2048)
+COUNTER = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def poly1305_reference(key, message):
+    """Naive RFC 8439 Poly1305 (chunk concatenation, per-chunk pad)."""
+    r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for i in range(0, len(message), 16):
+        chunk = message[i:i + 16] + b"\x01"
+        acc = (acc + int.from_bytes(chunk, "little")) * r % P1305
+    return ((acc + s) & ((1 << 128) - 1)).to_bytes(16, "little")
+
+
+@given(key=KEY16, block=BLOCK16)
+def test_aes_block_fast_matches_reference(key, block):
+    aes = Aes128(key)
+    assert aes.encrypt_block(block) == aes.encrypt_block_reference(block)
+
+
+@given(key=KEY16, prefix=NONCE12, counter=COUNTER,
+       nblocks=st.integers(min_value=1, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_aes_ctr_keystream_matches_reference(key, prefix, counter, nblocks):
+    aes = Aes128(key)
+    got = aes.ctr_keystream(prefix, counter, nblocks)
+    want = b"".join(
+        aes.encrypt_block_reference(
+            prefix + ((counter + i) & 0xFFFFFFFF).to_bytes(4, "big"))
+        for i in range(nblocks)
+    )
+    assert got == want
+
+
+@given(key=KEY16, aad=DATA, ciphertext=DATA)
+@settings(max_examples=60, deadline=None)
+def test_ghash_tables_match_per_bit_reference(key, aad, ciphertext):
+    ghash = Ghash(Aes128(key).encrypt_block(b"\x00" * 16))
+    assert ghash.digest(aad, ciphertext) == \
+        ghash.digest_reference(aad, ciphertext)
+
+
+@given(key=KEY32, counter=COUNTER, nonce=NONCE12)
+def test_chacha20_block_fast_matches_reference(key, counter, nonce):
+    assert chacha20_block(key, counter, nonce) == \
+        chacha20_block_reference(key, counter, nonce)
+
+
+@given(key=KEY32, counter=st.integers(min_value=0, max_value=0xFFFFFF00),
+       nonce=NONCE12, plaintext=DATA)
+@settings(max_examples=60, deadline=None)
+def test_chacha20_encrypt_matches_reference_composition(
+        key, counter, nonce, plaintext):
+    n = len(plaintext)
+    stream = b"".join(
+        chacha20_block_reference(key, counter + i, nonce)
+        for i in range((n + 63) // 64)
+    )[:n]
+    want = bytes(p ^ k for p, k in zip(plaintext, stream))
+    assert chacha20_encrypt(key, counter, nonce, plaintext) == want
+
+
+@given(key=KEY32, message=DATA)
+@settings(max_examples=60, deadline=None)
+def test_poly1305_matches_reference(key, message):
+    assert poly1305_mac(key, message) == poly1305_reference(key, message)
+
+
+@given(key=KEY32, nonce=NONCE12, plaintext=DATA, aad=DATA)
+@settings(max_examples=40, deadline=None)
+def test_chacha20poly1305_roundtrip(key, nonce, plaintext, aad):
+    aead = Chacha20Poly1305(key)
+    sealed = aead.seal(nonce, plaintext, aad)
+    assert aead.verify_tag(nonce, sealed, aad)
+    assert aead.open(nonce, sealed, aad) == plaintext
+
+
+@given(key=KEY16, nonce=NONCE12, plaintext=DATA, aad=DATA)
+@settings(max_examples=40, deadline=None)
+def test_aes128gcm_roundtrip(key, nonce, plaintext, aad):
+    aead = Aes128Gcm(key)
+    sealed = aead.seal(nonce, plaintext, aad)
+    assert aead.verify_tag(nonce, sealed, aad)
+    assert aead.open(nonce, sealed, aad) == plaintext
+
+
+def test_large_batch_paths_match_references_65536():
+    """One deterministic 65536-byte case: exercises the SWAR ChaCha20
+    batch, the (optionally numpy) CTR batch and table GHASH at a size
+    far beyond what Hypothesis generates."""
+    data = bytes(i * 131 % 251 for i in range(65536))
+    key32 = bytes(range(32))
+    key16 = bytes(range(16))
+    nonce = bytes(range(12))
+
+    stream = b"".join(
+        chacha20_block_reference(key32, 1 + i, nonce)
+        for i in range(len(data) // 64)
+    )
+    want = bytes(p ^ k for p, k in zip(data, stream))
+    assert chacha20_encrypt(key32, 1, nonce, data) == want
+    assert len(data) // 64 >= _SWAR_MIN_BLOCKS  # SWAR path was taken
+
+    aes = Aes128(key16)
+    nblocks = len(data) // 16
+    assert aes.ctr_keystream(nonce, 2, nblocks) == b"".join(
+        aes.encrypt_block_reference(nonce + (2 + i).to_bytes(4, "big"))
+        for i in range(nblocks)
+    )
+
+    ghash = Ghash(aes.encrypt_block(b"\x00" * 16))
+    assert ghash.digest(b"hdr", data) == ghash.digest_reference(b"hdr", data)
+
+    for aead in (Chacha20Poly1305(key32), Aes128Gcm(key16)):
+        sealed = aead.seal(nonce, data, b"hdr")
+        assert aead.open(nonce, sealed, b"hdr") == data
+
+
+def test_ctr_counter_wraps_modulo_2_32():
+    aes = Aes128(bytes(range(16)))
+    prefix = b"\xAA" * 12
+    got = aes.ctr_keystream(prefix, 0xFFFFFFFE, 12)
+    want = b"".join(
+        aes.encrypt_block_reference(
+            prefix + ((0xFFFFFFFE + i) & 0xFFFFFFFF).to_bytes(4, "big"))
+        for i in range(12)
+    )
+    assert got == want
+
+
+def test_swar_counter_wraps_modulo_2_32():
+    key = bytes(range(32))
+    nonce = b"\x07" * 12
+    counter = 0xFFFFFFFD
+    nblocks = _SWAR_MIN_BLOCKS + 4
+    data = bytes(64 * nblocks)
+    stream = b"".join(
+        chacha20_block_reference(key, (counter + i) & 0xFFFFFFFF, nonce)
+        for i in range(nblocks)
+    )
+    assert chacha20_encrypt(key, counter, nonce, data) == stream

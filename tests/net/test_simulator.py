@@ -95,3 +95,75 @@ def test_pending_events_counts_uncancelled():
     event = sim.schedule(2.0, lambda: None)
     event.cancel()
     assert sim.pending_events == 1
+
+
+def test_pending_events_is_o1_counter():
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for event in events[:4]:
+        event.cancel()
+    assert sim.pending_events == 6
+    events[0].cancel()  # idempotent: must not double-count
+    assert sim.pending_events == 6
+
+
+def test_cancel_after_firing_is_harmless():
+    sim = Simulator()
+    event = sim.schedule(0.1, lambda: None)
+    sim.run()
+    event.cancel()
+    event.cancel()
+    assert sim.pending_events == 0
+
+
+def test_compaction_drops_cancelled_events():
+    from repro.net.simulator import _COMPACT_MIN_CANCELLED
+
+    sim = Simulator()
+    total = 2 * _COMPACT_MIN_CANCELLED + 10
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(total)]
+    for event in events[:_COMPACT_MIN_CANCELLED + 5]:
+        event.cancel()
+    assert sim.compactions >= 1
+    assert len(sim._queue) == total - (_COMPACT_MIN_CANCELLED + 5)
+    assert sim.pending_events == total - (_COMPACT_MIN_CANCELLED + 5)
+
+
+def test_compaction_preserves_firing_order():
+    from repro.net.simulator import _COMPACT_MIN_CANCELLED
+
+    n = 3 * _COMPACT_MIN_CANCELLED
+    expected_sim = Simulator()
+    expected = []
+    for i in range(n):
+        expected_sim.schedule((i * 37 % 11) / 10.0, expected.append, i)
+    expected_sim.run()
+
+    sim = Simulator()
+    fired = []
+    keepers = []
+    for i in range(n):
+        keepers.append(sim.schedule((i * 37 % 11) / 10.0, fired.append, i))
+        # interleave churn that forces at least one compaction
+        sim.schedule(0.05, lambda: None).cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert fired == expected
+
+
+def test_compaction_emits_perf_event():
+    from repro.net.simulator import _COMPACT_MIN_CANCELLED
+    from repro.obs.bus import CaptureSink
+
+    sim = Simulator()
+    sink = CaptureSink()
+    sim.bus.subscribe(sink, categories=["perf"])
+    events = [sim.schedule(1.0 + i, lambda: None)
+              for i in range(2 * _COMPACT_MIN_CANCELLED)]
+    for event in events[:_COMPACT_MIN_CANCELLED + 1]:
+        event.cancel()
+    compactions = [e for e in sink.events if e.name == "heap_compaction"]
+    assert compactions
+    data = compactions[-1].data
+    assert data["before"] > data["after"]

@@ -123,3 +123,90 @@ def test_property_any_arrival_order_reassembles(spans):
         expected_len += 1
     assert len(delivered) == expected_len
     assert bytes(delivered) == data[:expected_len]
+
+
+class TestSendBufferZeroCopy:
+    def test_peek_within_one_chunk_is_a_view(self):
+        buf = SendBuffer(base_seq=0)
+        payload = b"a" * 64
+        buf.write(payload)
+        view = buf.peek(10, 20)
+        assert isinstance(view, memoryview)
+        assert view == payload[10:30]
+        assert view.obj is payload  # zero-copy: same object
+
+    def test_peek_spanning_chunks_gathers(self):
+        buf = SendBuffer(base_seq=0)
+        buf.write(b"abc")
+        buf.write(b"defg")
+        buf.write(b"hij")
+        assert bytes(buf.peek(1, 7)) == b"bcdefgh"
+        assert bytes(buf.peek(0, 100)) == b"abcdefghij"
+
+    def test_peek_clamps_to_end(self):
+        buf = SendBuffer(base_seq=5)
+        buf.write(b"xyz")
+        assert bytes(buf.peek(7, 10)) == b"z"
+        assert bytes(buf.peek(8, 10)) == b""
+
+    def test_partial_ack_inside_chunk(self):
+        buf = SendBuffer(base_seq=0)
+        buf.write(b"0123456789")
+        assert buf.ack_to(4) == 4
+        assert bytes(buf.peek(4, 6)) == b"456789"
+        assert len(buf) == 6
+        assert buf.ack_to(10) == 6
+        assert len(buf) == 0
+
+    def test_views_stay_valid_after_ack(self):
+        buf = SendBuffer(base_seq=0)
+        buf.write(b"first-chunk!")
+        buf.write(b"second")
+        view = buf.peek(0, 12)
+        buf.ack_to(12)  # frees the chunk the view points into
+        assert bytes(view) == b"first-chunk!"  # immutable: still valid
+
+    def test_ack_churn_compacts_chunk_list(self):
+        buf = SendBuffer(base_seq=0)
+        for i in range(200):
+            buf.write(bytes([i % 256]) * 4)
+        for seq in range(4, 680, 4):
+            buf.ack_to(seq)
+        assert bytes(buf.peek(680, 8)) == bytes([170]) * 4 + bytes([171]) * 4
+        assert buf._head <= 32 or buf._head * 2 <= len(buf._chunks)
+
+    def test_bytearray_write_is_copied(self):
+        buf = SendBuffer(base_seq=0)
+        source = bytearray(b"mutable")
+        buf.write(source)
+        source[0] = ord("X")
+        assert bytes(buf.peek(0, 7)) == b"mutable"
+
+
+class TestReceiveBufferWindowCache:
+    def test_window_tracks_ooo_replacement(self):
+        buf = ReceiveBuffer(rcv_nxt=0, capacity=100)
+        buf.offer(10, b"a" * 5)
+        assert buf.window() == 95
+        buf.offer(10, b"b" * 9)   # longer replacement at same seq
+        assert buf.window() == 91
+        buf.offer(10, b"c" * 3)   # shorter: ignored
+        assert buf.window() == 91
+
+    def test_window_restored_after_gap_fills(self):
+        buf = ReceiveBuffer(rcv_nxt=0, capacity=100)
+        buf.offer(5, b"y" * 10)
+        buf.offer(20, b"z" * 7)
+        assert buf.window() == 100 - 17
+        buf.offer(0, b"x" * 5)    # fills the first gap
+        assert buf.window() == 100 - 22   # 15 readable + 7 still ooo
+        buf.read()
+        assert buf.window() == 93
+
+    def test_window_matches_recount(self):
+        buf = ReceiveBuffer(rcv_nxt=0, capacity=1000)
+        for seq, data in [(0, b"a" * 10), (30, b"b" * 10), (5, b"c" * 30),
+                          (100, b"d" * 5), (35, b"e" * 70)]:
+            buf.offer(seq, data)
+            used = len(buf._readable) + sum(len(d) for d in buf._ooo.values())
+            assert buf.window() == max(buf.capacity - used, 0)
