@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""TCPLS over real kernel TCP on OS loopback.
+
+The same sans-I/O engine that powers every simulated experiment runs
+here over actual sockets: a :class:`SocketDriver` hosts both endpoints
+on 127.0.0.1, the client opens a TCPLS session (TLS 1.3 handshake with
+the TCPLS Hello extension, record-level encryption), echoes a request,
+then transfers data on two concurrent streams.
+
+Run:  PYTHONPATH=src python examples/loopback_sockets.py
+"""
+
+from repro.core.drivers.sockets import SocketDriver
+from repro.core.engine import TcplsClientEngine, TcplsServerEngine
+
+PSK = b"loopback-psk"
+
+
+def run_echo_and_transfer(cipher="chacha20poly1305", payload_kib=256,
+                          verbose=True):
+    """Returns (echo_reply, {stream_id: received_bytes}) after running
+    an echo round-trip and a 2-stream transfer over loopback."""
+    driver = SocketDriver(name="loopback")
+    say = print if verbose else (lambda *a: None)
+
+    # -- server: echo stream 1, count bytes on every stream -------------
+    received = {}
+
+    def on_session(session):
+        def on_stream_data(stream):
+            data = stream.recv()
+            received.setdefault(stream.stream_id, bytearray()).extend(data)
+            if stream.stream_id == 1 and stream.fin_received:
+                reply = session.create_stream(session.conns[0])
+                reply.send(b"echo:" + bytes(received[1]))
+                reply.close()
+        session.on_stream_data = on_stream_data
+
+    server = TcplsServerEngine(driver, 0, PSK, cipher_names=(cipher,))
+    server.on_session = on_session
+    say("[server] listening on 127.0.0.1:%d" % server.port)
+
+    # -- client ----------------------------------------------------------
+    client = TcplsClientEngine(driver, PSK, cipher_names=(cipher,))
+    ready = []
+    client.on_ready = ready.append
+    client.connect(None, driver.endpoint("127.0.0.1", server.port))
+    driver.run_until(lambda: ready, timeout=10.0)
+    say("[client] session ready; cipher=%s tcpls=%s"
+        % (cipher, client.tcpls_enabled))
+
+    # Echo round-trip on stream 1.
+    request = client.create_stream(client.conns[0])
+    request.send(b"hello over real sockets")
+    request.close()
+    echo = bytearray()
+
+    def on_stream_data(stream):
+        echo.extend(stream.recv())
+
+    client.on_stream_data = on_stream_data
+    driver.run_until(
+        lambda: bytes(echo) == b"echo:hello over real sockets",
+        timeout=10.0,
+    )
+    say("[client] echo reply: %r" % bytes(echo))
+
+    # 2-stream transfer: distinct payloads on concurrent streams.
+    payloads = {}
+    streams = []
+    for fill in (b"A", b"B"):
+        stream = client.create_stream(client.conns[0])
+        body = fill * (payload_kib * 1024)
+        payloads[stream.stream_id] = body
+        stream.send(body)
+        stream.close()
+        streams.append(stream)
+
+    def transferred():
+        return all(
+            len(received.get(sid, b"")) == len(body)
+            for sid, body in payloads.items()
+        )
+
+    driver.run_until(transferred, timeout=30.0)
+    for sid, body in payloads.items():
+        assert bytes(received[sid]) == body, "stream %d corrupted" % sid
+    say("[client] transferred %d KiB on each of %d streams, verified"
+        % (payload_kib, len(streams)))
+    say("[client] records sent=%d received=%d (server trials=%d)"
+        % (client.stats["records_sent"], client.stats["records_received"],
+           next(iter(server.sessions.values())).stats["tag_trials"]))
+
+    driver.close()
+    return bytes(echo), {sid: bytes(b) for sid, b in received.items()}
+
+
+if __name__ == "__main__":
+    run_echo_and_transfer()

@@ -39,7 +39,16 @@ from repro.core.record import (
     TcplsRecord,
 )
 from repro.core.crypto_context import StreamCryptoContext, derive_stream_iv
-from repro.core.session import TcplsSession, TcplsStream
+from repro.core.errors import (
+    DriverError,
+    JoinError,
+    SessionNotReadyError,
+    SessionStateError,
+    StreamClosedError,
+    TcplsError,
+)
+from repro.core.session import TcplsEngine, TcplsSession
+from repro.core.stream import TcplsStream
 from repro.core.client import TcplsClient
 from repro.core.server import TcplsServer
 from repro.core.scheduler import (
@@ -51,6 +60,8 @@ from repro.core.scheduler import (
 from repro.core.api import TcplsConnection, tcpls_connect
 
 __all__ = [
+    "DriverError",
+    "JoinError",
     "LowestRttScheduler",
     "RECORD_TYPE_ACK",
     "RECORD_TYPE_CONTROL",
@@ -61,9 +72,14 @@ __all__ = [
     "RECORD_TYPE_TCP_OPTION",
     "RedundantScheduler",
     "RoundRobinScheduler",
+    "SessionNotReadyError",
+    "SessionStateError",
+    "StreamClosedError",
     "StreamCryptoContext",
     "TcplsClient",
     "TcplsConnection",
+    "TcplsEngine",
+    "TcplsError",
     "TcplsRecord",
     "TcplsServer",
     "TcplsSession",

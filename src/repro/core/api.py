@@ -9,6 +9,7 @@ Happy-Eyeballs style), and then drives streams.
 """
 
 from repro.core.client import TcplsClient
+from repro.core.errors import SessionStateError
 from repro.net.address import Endpoint
 
 
@@ -110,7 +111,7 @@ class TcplsConnection:
     def _happy_eyeballs(self, timeout):
         pairs = list(zip(self.local_addresses, self.peer_endpoints))
         if not pairs:
-            raise RuntimeError("no address pairs configured")
+            raise SessionStateError("no address pairs configured")
         if len(pairs) == 1:
             return self.session.connect(*pairs[0])
         # Race at the TCP level, then run TCPLS on the winner.

@@ -1,0 +1,1155 @@
+"""The sans-I/O TCPLS session engine: multiplexing, joining, failover.
+
+A :class:`TcplsEngine` owns one or more transports (paths), the streams
+and coupled groups multiplexed over them, and the control machinery of
+Secs. 3-4 of the paper.  Client- and server-specific handshake setup
+lives in :mod:`repro.core.engine.client` /
+:mod:`repro.core.engine.server`; everything after the handshake is
+symmetric and lives here.
+
+The engine is I/O-agnostic: it consumes input events
+(:meth:`bytes_received`, :meth:`conn_writable`, :meth:`conn_failed`,
+:meth:`conn_closed`, :meth:`user_timeout_fired`, clock timers) and
+emits effects only through the :class:`~repro.core.engine.interfaces`
+contracts -- write bytes on a transport, arm a timer, deliver
+application data, publish an observability event.  It never touches
+:mod:`repro.net` or :mod:`repro.tcp`; drivers do.
+
+Receive-path demultiplexing (Sec. 4.1): records carry no stream id; the
+session first tries the connection's last successful stream at its next
+expected sequence, then the other attached streams, then widens to a
+bounded trial window of sequences -- which is what makes stream
+steering and failover replay work without explicit wire signalling.
+"""
+
+from collections import deque
+
+from repro.core import record as rec
+from repro.core.errors import SessionNotReadyError
+from repro.core.engine.scheduler import RoundRobinScheduler
+from repro.core.stream import CoupledGroup, TcplsStream, control_stream_id
+from repro.crypto.aead import AeadAuthenticationError
+from repro.tls.record import RecordReassembler
+
+#: default bytes allowed to sit unsent in one TCP connection's buffer
+#: before the pump stops sealing records for it (keeps data steerable).
+DEFAULT_UNSENT_TARGET = 128 * 1024
+
+#: RFC 5482 TCP User Timeout option kind (mirrors
+#: ``repro.tcp.options.OPT_USER_TIMEOUT``; redefined here because the
+#: engine may not import :mod:`repro.tcp`).
+OPT_USER_TIMEOUT = 28
+
+
+class ConnectionState:
+    """One TCP connection (transport) participating in the session."""
+
+    def __init__(self, session, index, tcp, tls=None, conn_id=None):
+        self.session = session
+        self.index = index
+        #: wire identity shared by both endpoints: 0 for the primary,
+        #: cookie-derived for joined connections
+        self.conn_id = conn_id if conn_id is not None else index
+        #: the transport; named ``tcp`` because that is what it models
+        #: (and what two generations of tests call it).
+        self.tcp = tcp
+        self.tls = tls
+        self.reassembler = RecordReassembler()
+        self.pending_out = deque()
+        #: total bytes queued in ``pending_out`` (kept incrementally so
+        #: the pump's budget check is O(1) per record, not O(queue)).
+        self.pending_out_bytes = 0
+        self.control_stream = None
+        self.last_stream = None
+        self.alive = False
+        self.failed = False
+        self.records_received = 0
+
+    @property
+    def transport(self):
+        """Alias for :attr:`tcp` (the driver-facing name)."""
+        return self.tcp
+
+    @property
+    def is_primary(self):
+        return self.index == 0
+
+    def writable(self):
+        """Bytes may be handed to TCP (handshake data included)."""
+        return not self.failed and self.tcp.is_open()
+
+    def usable(self):
+        """Established TCPLS connection ready for records."""
+        return (self.alive and not self.failed and self.tcp.is_open()
+                and self.control_stream is not None)
+
+    def tcp_info(self):
+        """Expose the underlying connection statistics (paper Sec. 3.3.3)."""
+        return self.tcp.tcp_info()
+
+    def __repr__(self):
+        state = "failed" if self.failed else (
+            "alive" if self.alive else "opening"
+        )
+        return "Conn(%d, %s, %s->%s)" % (
+            self.index, state, self.tcp.local, self.tcp.remote
+        )
+
+
+class TcplsEngine:
+    """Shared session logic for both endpoints, over any driver."""
+
+    _next_obs_id = 0
+
+    def __init__(self, driver, is_client, record_payload=16384,
+                 trial_window=64, ack_interval=16,
+                 unsent_target=DEFAULT_UNSENT_TARGET):
+        self.driver = driver
+        self.clock = driver.clock
+        self.bus = driver.bus
+        TcplsEngine._next_obs_id += 1
+        #: stable per-simulation ordinal carried in every event this
+        #: session emits (the scoping key for bus subscriptions)
+        self.obs_id = TcplsEngine._next_obs_id
+        self.is_client = is_client
+        self.record_payload = record_payload
+        self.trial_window = trial_window
+        self.ack_interval = ack_interval
+        self.unsent_target = unsent_target
+
+        self.conns = []
+        self.streams = {}
+        self.groups = {}
+        self._next_stream_id = 1 if is_client else 2
+        self._next_group_id = 1 if is_client else 2
+
+        self.tcpls_enabled = False
+        self.ready = False
+        self.failover_enabled = False
+        #: when set, every connection (primary and joined) automatically
+        #: arms this User Timeout on establishment
+        self.auto_user_timeout = None
+        self.session_id = None
+        self.cookies = []            # client: unused join cookies
+        self.tokens = []             # client: unlinkable join tokens
+        self.peer_addresses = []
+
+        self._cipher_cls = None
+        self._send_key = None
+        self._recv_key = None
+        self._send_iv = None
+        self._recv_iv = None
+
+        self._ebpf_chunks = {}
+        self._last_ack_all = -1.0
+        self._tcpinfo_callbacks = {}
+        #: connections that failed with no alternate available yet;
+        #: resolved as soon as a usable connection (re)appears.
+        self._pending_failover = []
+        #: optional :class:`~repro.core.engine.replay.InputLog`; when
+        #: set, every external input event is appended for deterministic
+        #: replay (debugging).
+        self.input_log = None
+
+        # Statistics (the ablation benches read these).
+        self.stats = {
+            "records_sent": 0,
+            "records_received": 0,
+            "tag_trials": 0,
+            "demux_fallbacks": 0,
+            "demux_drops": 0,
+            "acks_sent": 0,
+            "syncs_sent": 0,
+            "records_replayed": 0,
+            "failovers": 0,
+            "bytes_sealed": 0,
+            "bytes_opened": 0,
+        }
+
+        # Application callbacks (all optional, called with rich args).
+        self.on_ready = None
+        self.on_stream_data = None       # (stream)
+        self.on_group_data = None        # (group)
+        self.on_stream_open = None       # (stream)
+        self.on_conn_established = None  # (conn)
+        self.on_conn_failed = None       # (conn, reason)
+        self.on_failover = None          # (old_conn, new_conn)
+        self.on_join = None              # (conn)
+        self.on_pong = None              # (conn, payload)
+        self.on_ebpf_attached = None     # (conn, program_id)
+        self.on_writable = None          # (session)
+        self.on_tcp_option = None        # (conn, kind, data)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _emit(self, category, name, data=None):
+        """Publish one session-scoped event (adds the session id and
+        role); a no-op when nothing subscribed to ``category``."""
+        bus = self.bus
+        if not bus.wants(category):
+            return
+        payload = {"session": self.obs_id,
+                   "role": "client" if self.is_client else "server"}
+        if data:
+            payload.update(data)
+        bus.emit(category, name, payload)
+
+    def emit_perf_totals(self):
+        """Publish cumulative seal/open byte counts and event-loop
+        compaction stats on the ``perf`` category."""
+        self._emit("perf", "crypto_totals", {
+            "bytes_sealed": self.stats["bytes_sealed"],
+            "bytes_opened": self.stats["bytes_opened"],
+            "records_sent": self.stats["records_sent"],
+            "records_received": self.stats["records_received"],
+            "heap_compactions": self.clock.compactions,
+        })
+
+    # ------------------------------------------------------------------
+    # Input events (the driver-facing surface)
+    # ------------------------------------------------------------------
+
+    def _log_input(self, kind, conn, data=None):
+        if self.input_log is not None:
+            self.input_log.record(self.clock.now, kind, conn.conn_id, data)
+
+    def bytes_received(self, conn, data):
+        """Input: ordered bytes arrived on ``conn``."""
+        if not data:
+            return
+        self._log_input("bytes", conn, bytes(data))
+        if conn.tls is not None and not conn.tls.handshake_complete:
+            self._feed_handshake(conn, data)
+            return
+        for record_bytes in conn.reassembler.feed(data):
+            self._process_record(conn, record_bytes)
+
+    def conn_writable(self, conn):
+        """Input: the transport drained some of its buffer."""
+        self._log_input("writable", conn)
+        self._drain(conn)
+        self._pump()
+        if self.on_writable is not None:
+            self.on_writable(self)
+
+    def conn_failed(self, conn, reason):
+        """Input: the connection died (RST, timeout, driver error)."""
+        self._log_input("failed", conn, reason)
+        self._conn_failed(conn, reason)
+
+    def conn_closed(self, conn):
+        """Input: the peer closed the connection cleanly (FIN)."""
+        self._log_input("closed", conn)
+        self._conn_closed(conn)
+
+    def user_timeout_fired(self, conn):
+        """Input: the armed user timeout elapsed without progress."""
+        self._log_input("user_timeout", conn)
+        self._on_user_timeout(conn)
+
+    def conn_by_id(self, conn_id):
+        """Resolve a wire connection id (replay helper)."""
+        for conn in self.conns:
+            if conn.conn_id == conn_id:
+                return conn
+        return None
+
+    # ------------------------------------------------------------------
+    # Key material
+    # ------------------------------------------------------------------
+
+    def _setup_keys(self, schedule, cipher_cls):
+        """Install application traffic keys from a completed handshake."""
+        client_keys = schedule.client_application
+        server_keys = schedule.server_application
+        if self.is_client:
+            send, recv = client_keys, server_keys
+        else:
+            send, recv = server_keys, client_keys
+        self.install_raw_keys(cipher_cls, send.key, recv.key,
+                              send.iv, recv.iv)
+
+    def install_raw_keys(self, cipher_cls, send_key, recv_key,
+                         send_iv, recv_iv):
+        """Install application traffic keys directly (used by the
+        handshake path above, and by replay/debug harnesses that
+        bootstrap a session from captured key material)."""
+        self._cipher_cls = cipher_cls
+        self._send_key = cipher_cls(send_key)
+        self._recv_key = cipher_cls(recv_key)
+        self._send_iv = send_iv
+        self._recv_iv = recv_iv
+        self._emit("tls", "keys_installed",
+                   {"cipher": getattr(cipher_cls, "name", cipher_cls.__name__)})
+
+    def _make_stream(self, stream_id, conn, coupled_group=None):
+        stream = TcplsStream(
+            self, stream_id, conn,
+            cipher_send=self._send_key, cipher_recv=self._recv_key,
+            send_iv=self._send_iv, recv_iv=self._recv_iv,
+            coupled_group=coupled_group,
+        )
+        self.streams[stream_id] = stream
+        self._emit("session", "stream_created", {
+            "stream": stream_id, "conn": conn.conn_id,
+            "group": coupled_group or 0,
+        })
+        return stream
+
+    def _install_control_stream(self, conn):
+        sid = control_stream_id(conn.conn_id)
+        conn.control_stream = self._make_stream(sid, conn)
+
+    # ------------------------------------------------------------------
+    # Public stream / group API
+    # ------------------------------------------------------------------
+
+    def create_stream(self, conn):
+        """Open a new application stream attached to ``conn``."""
+        self._require_ready()
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        stream = self._make_stream(stream_id, conn)
+        self._send_control(
+            conn, rec.encode_stream_attach(stream_id, 0, 0)
+        )
+        return stream
+
+    def create_coupled_group(self, conns, scheduler=None):
+        """Open a coupled group with one stream per connection
+        (bandwidth aggregation, Sec. 3.3.3)."""
+        self._require_ready()
+        group_id = self._next_group_id
+        self._next_group_id += 2
+        group = CoupledGroup(self, group_id, scheduler or
+                             RoundRobinScheduler())
+        self.groups[group_id] = group
+        for conn in conns:
+            self.add_group_stream(group, conn)
+        return group
+
+    def add_group_stream(self, group, conn):
+        """Attach the group to one more connection (e.g. a path enabled
+        mid-transfer, as in the Fig. 11 experiment)."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        stream = self._make_stream(stream_id, conn,
+                                   coupled_group=group.group_id)
+        group.add_stream(stream)
+        self._send_control(
+            conn, rec.encode_stream_attach(stream_id, 0, group.group_id)
+        )
+        self._pump()
+        return stream
+
+    def remove_group_stream(self, group, stream):
+        """Detach a group member (migration away from its path)."""
+        group.remove_stream(stream)
+        if stream.connection is not None and stream.connection.writable():
+            self._send_control(
+                stream.connection,
+                rec.encode_stream_detach(stream.stream_id,
+                                         stream.ctx_send.send_seq),
+            )
+        self._pump()
+
+    def steer_stream(self, stream, new_conn):
+        """Move an (uncoupled) stream to another TCP connection.
+
+        Not-yet-sealed data follows immediately; records already queued
+        in the old connection's TCP buffer drain where they are.
+        """
+        old_conn = stream.connection
+        if old_conn is new_conn:
+            return
+        if old_conn is not None and old_conn.writable():
+            self._send_control(
+                old_conn,
+                rec.encode_stream_detach(stream.stream_id,
+                                         stream.ctx_send.send_seq),
+            )
+        stream.connection = new_conn
+        self._emit("session", "stream_steered", {
+            "stream": stream.stream_id,
+            "from": old_conn.conn_id if old_conn is not None else None,
+            "to": new_conn.conn_id,
+        })
+        self._send_control(
+            new_conn,
+            rec.encode_stream_attach(stream.stream_id,
+                                     stream.ctx_send.send_seq,
+                                     stream.coupled_group or 0),
+        )
+        self._pump()
+
+    def connections(self):
+        """Live view of the session's connections (paper: TCPLS exposes
+        the underlying TCP connections to the application)."""
+        return list(self.conns)
+
+    def alive_connections(self):
+        return [c for c in self.conns if c.usable()]
+
+    # ------------------------------------------------------------------
+    # Failover / options / probing / eBPF
+    # ------------------------------------------------------------------
+
+    def enable_failover(self):
+        """Turn on record-level ACKs and replay (both directions)."""
+        self._require_ready()
+        if self.failover_enabled:
+            return
+        self.failover_enabled = True
+        self._emit("session", "failover_enabled", {})
+        primary = self._first_writable()
+        if primary is not None:
+            self._send_control(primary, bytes([rec.CTRL_ENABLE_FAILOVER]))
+
+    def set_user_timeout(self, conn, seconds):
+        """Ship the User Timeout inside an encrypted record so the
+        *peer* arms it (Sec. 4.2), and arm it locally too.
+
+        Unlike the 15-bit seconds-or-minutes wire option of RFC 5482,
+        the record-conveyed variant is not space-constrained (Sec. 3.1)
+        and carries milliseconds -- the paper's experiments use 250 ms.
+        """
+        import struct
+
+        payload = rec.encode_tcp_option(
+            OPT_USER_TIMEOUT, struct.pack("!I", int(seconds * 1000))
+        )
+        self._send_typed(conn, rec.RECORD_TYPE_TCP_OPTION, payload)
+        conn.tcp.set_user_timeout(seconds)
+
+    def ping(self, conn, payload=b""):
+        """Application path probe (echo request)."""
+        self._send_typed(conn, rec.RECORD_TYPE_PING, payload)
+
+    def send_tcp_option(self, conn, kind, data=b""):
+        """Convey an arbitrary TCP option inside an encrypted record
+        (Sec. 3.1): reliable, unbounded by the 40-byte header limit, and
+        invisible to middleboxes.  The peer surfaces it through
+        ``on_tcp_option(conn, kind, data)``."""
+        self._send_typed(conn, rec.RECORD_TYPE_TCP_OPTION,
+                         rec.encode_tcp_option(kind, data))
+
+    def announce_address(self, address):
+        """Advertise one more local address to the peer mid-session
+        (Sec. 3.3.2: "The server can later ... update its list of
+        addresses")."""
+        from repro.tls.extensions import encode_address_list
+
+        target = self._first_writable()
+        if target is not None:
+            self._send_control(
+                target,
+                bytes([rec.CTRL_ADD_ADDRESS])
+                + encode_address_list([address]),
+            )
+
+    def withdraw_address(self, address):
+        """Tell the peer an address is no longer usable."""
+        from repro.tls.extensions import encode_address_list
+
+        target = self._first_writable()
+        if target is not None:
+            self._send_control(
+                target,
+                bytes([rec.CTRL_REMOVE_ADDRESS])
+                + encode_address_list([address]),
+            )
+
+    def request_peer_tcp_info(self, conn, callback):
+        """Retrieve the *remote* endpoint's ``tcp_info`` for this
+        connection over the secure channel (Sec. 3.3.3: "retrieve
+        information from the remote host, e.g. ... the remote host's
+        tcp_info").  ``callback(conn, info_dict)`` fires on response."""
+        self._tcpinfo_callbacks.setdefault(conn.conn_id, []).append(
+            callback)
+        self._send_control(conn, bytes([rec.CTRL_TCPINFO_REQUEST]))
+
+    def send_ebpf_program(self, conn, bytecode, program_id=1):
+        """Chunk congestion-controller bytecode over the session
+        (Sec. 4.4); the peer verifies and attaches it."""
+        chunk_size = self.record_payload - 64
+        chunks = [bytecode[i:i + chunk_size]
+                  for i in range(0, len(bytecode), chunk_size)] or [b""]
+        for index, chunk in enumerate(chunks):
+            payload = rec.encode_ebpf_chunk(program_id, index, len(chunks),
+                                            chunk)
+            self._send_typed(conn, rec.RECORD_TYPE_EBPF, payload)
+
+    # ------------------------------------------------------------------
+    # Output path
+    # ------------------------------------------------------------------
+
+    def _require_ready(self):
+        if not self.ready:
+            raise SessionNotReadyError()
+
+    def _first_writable(self):
+        for conn in self.conns:
+            if conn.usable():
+                return conn
+        return None
+
+    def _send_control(self, conn, payload):
+        self._send_typed(conn, rec.RECORD_TYPE_CONTROL, payload)
+
+    def _send_typed(self, conn, record_type, payload, control=b"",
+                    stream=None, store_unacked=False):
+        """Seal one record on ``conn`` (control stream by default)."""
+        stream = stream if stream is not None else conn.control_stream
+        seq = stream.ctx_send.send_seq
+        inner = rec.encode_inner(record_type, payload, control)
+        wire = stream.ctx_send.seal(inner)
+        if store_unacked and self.failover_enabled:
+            stream.unacked.append((seq, wire))
+        self.stats["records_sent"] += 1
+        self.stats["bytes_sealed"] += len(inner)
+        self._emit("tls", "record_sealed", {
+            "conn": conn.conn_id, "stream": stream.stream_id,
+            "seq": seq, "type": record_type, "length": len(wire),
+        })
+        self._conn_write(conn, wire)
+        return seq
+
+    def _conn_write(self, conn, data):
+        conn.pending_out.append(data)
+        conn.pending_out_bytes += len(data)
+        self._drain(conn)
+
+    def _drain(self, conn):
+        if not conn.writable():
+            return
+        while conn.pending_out:
+            head = conn.pending_out[0]
+            if conn.tcp.send_space() < len(head):
+                break
+            conn.tcp.send(head)
+            conn.pending_out.popleft()
+            conn.pending_out_bytes -= len(head)
+
+    def _conn_budget(self, conn):
+        """Bytes the pump may still seal for this connection.
+
+        Bounded by the congestion window (about two windows' worth may
+        wait in the TCP buffer) so the scheduler cannot bury megabytes
+        in a slow path's queue -- that data could neither be steered
+        away nor delivered in order by the coupled reorder buffer.
+        """
+        if not conn.writable():
+            return 0
+        queued = conn.pending_out_bytes
+        backlog = conn.tcp.unsent_bytes() + queued
+        target = min(self.unsent_target,
+                     2 * int(conn.tcp.congestion_window())
+                     + self.record_payload)
+        return max(target - backlog, 0)
+
+    def _pump(self):
+        """Seal pending application bytes into records wherever there is
+        room.  Called on sends, ACK progress and topology changes."""
+        if not self.ready:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            for group in list(self.groups.values()):
+                progressed |= self._pump_group(group)
+            for stream in list(self.streams.values()):
+                if stream.coupled_group is None and stream.connection and \
+                        not self._is_control(stream):
+                    progressed |= self._pump_stream(stream)
+
+    def _is_control(self, stream):
+        return (stream.connection is not None
+                and stream.connection.control_stream is stream)
+
+    def _chunk_size(self, control_len):
+        return self.record_payload - control_len - 2
+
+    def _pump_stream(self, stream):
+        conn = stream.connection
+        sent = False
+        while (stream.pending or
+               (stream.fin_pending and not stream.fin_sent)):
+            if conn is None or not conn.usable() or \
+                    self._conn_budget(conn) <= 0:
+                break
+            last = (
+                stream.fin_pending
+                and len(stream.pending) <= self._chunk_size(1)
+            )
+            flags = rec.FLAG_FIN if last else 0
+            control = rec.encode_stream_control(flags)
+            size = self._chunk_size(len(control))
+            # Zero-copy: hand the pump a view of the app buffer; the
+            # record framer's gather is the send path's only copy.  The
+            # view must be released before the bytearray can shrink.
+            chunk = memoryview(stream.pending)[:size]
+            try:
+                self._send_typed(
+                    conn, rec.RECORD_TYPE_STREAM_DATA, chunk, control,
+                    stream=stream, store_unacked=True,
+                )
+            finally:
+                chunk.release()
+            del stream.pending[:size]
+            if last:
+                stream.fin_sent = True
+            sent = True
+        return sent
+
+    def _pump_group(self, group):
+        sent = False
+        while (group.pending or
+               (group.fin_pending and not group.fin_sent)):
+            candidates = [
+                s for s in group.streams
+                if s.connection is not None and s.connection.usable()
+                and self._conn_budget(s.connection) > 0
+            ]
+            if not candidates:
+                break
+            picked = group.scheduler.pick(candidates)
+            targets = picked if isinstance(picked, list) else [picked]
+            if self.bus.wants("scheduler"):
+                self._emit("scheduler", "pick", {
+                    "group": group.group_id,
+                    "scheduler": getattr(group.scheduler, "name", "custom"),
+                    "streams": [t.stream_id for t in targets],
+                    "candidates": len(candidates),
+                })
+            last = (
+                group.fin_pending
+                and len(group.pending) <= self._chunk_size(9)
+            )
+            control = group.next_control(fin=last)
+            size = self._chunk_size(len(control))
+            chunk = memoryview(group.pending)[:size]
+            try:
+                for stream in targets:
+                    self._send_typed(
+                        stream.connection, rec.RECORD_TYPE_STREAM_DATA,
+                        chunk, control, stream=stream, store_unacked=True,
+                    )
+            finally:
+                chunk.release()
+            del group.pending[:size]
+            if last:
+                group.fin_sent = True
+            sent = True
+        return sent
+
+    # ------------------------------------------------------------------
+    # Input path
+    # ------------------------------------------------------------------
+
+    def _on_tcp_data(self, conn):
+        """Pull pending bytes from the transport and feed them in (the
+        driver-wired ``on_data`` path)."""
+        self.bytes_received(conn, conn.tcp.recv())
+
+    def _feed_handshake(self, conn, data):
+        from repro.tls.endpoint import TlsError
+        from repro.tls.record import TlsRecordError
+
+        try:
+            conn.tls.feed(data)
+        except (TlsError, TlsRecordError) as exc:
+            self._on_handshake_failed(conn, exc)
+            return
+        out = conn.tls.data_to_send()
+        if out:
+            self._conn_write(conn, out)
+
+    def _on_handshake_failed(self, conn, exc):
+        conn.failed = True
+        conn.tcp.abort()
+        if self.on_conn_failed is not None:
+            self.on_conn_failed(conn, "tls:%s" % exc)
+
+    def _flush_tls(self, conn):
+        if conn.tls is not None:
+            out = conn.tls.data_to_send()
+            if out:
+                self._conn_write(conn, out)
+
+    def _takeover_tls(self, conn):
+        """Route post-handshake records through the session and migrate
+        any partial record buffered in the TLS endpoint's reassembler."""
+        conn.tls.takeover = (
+            lambda record_bytes: self._process_record(conn, record_bytes)
+        )
+        leftover = bytes(conn.tls.reassembler._buffer)
+        if leftover:
+            conn.tls.reassembler._buffer.clear()
+            for record_bytes in conn.reassembler.feed(leftover):
+                self._process_record(conn, record_bytes)
+
+    # -- demultiplexing ----------------------------------------------------
+
+    def _demux_candidates(self, conn):
+        seen = set()
+        order = []
+        if conn.last_stream is not None:
+            order.append(conn.last_stream)
+            seen.add(conn.last_stream.stream_id)
+        if conn.control_stream is not None and \
+                conn.control_stream.stream_id not in seen:
+            order.append(conn.control_stream)
+            seen.add(conn.control_stream.stream_id)
+        for stream in self.streams.values():
+            if stream.stream_id in seen:
+                continue
+            if stream.connection is conn:
+                order.append(stream)
+                seen.add(stream.stream_id)
+        for stream in self.streams.values():
+            if stream.stream_id not in seen:
+                order.append(stream)
+                seen.add(stream.stream_id)
+        return order
+
+    def _process_record(self, conn, record_bytes):
+        conn.records_received += 1
+        self.stats["records_received"] += 1
+        candidates = self._demux_candidates(conn)
+        # Fast pass: each candidate's single most likely sequence.
+        for position, stream in enumerate(candidates):
+            seq = stream.primary_trial_seq()
+            self.stats["tag_trials"] += 1
+            if stream.ctx_recv.verify_at(record_bytes, seq):
+                if position > 0:
+                    self.stats["demux_fallbacks"] += 1
+                self._accept_record(conn, stream, seq, record_bytes)
+                return
+        # Slow pass: bounded sequence windows (steering / replay).
+        for stream in candidates:
+            for seq in stream.trial_seqs(self.trial_window)[1:]:
+                self.stats["tag_trials"] += 1
+                if stream.ctx_recv.verify_at(record_bytes, seq):
+                    self.stats["demux_fallbacks"] += 1
+                    self._accept_record(conn, stream, seq, record_bytes)
+                    return
+        # Undecryptable: duplicate failover replay or forgery.  A
+        # replayed duplicate means one of our ACKs was lost with the
+        # dead connection -- re-acknowledge everything (rate-limited)
+        # so the peer prunes its replay buffer and stops.
+        self.stats["demux_drops"] += 1
+        self._emit("tls", "record_rejected", {
+            "conn": conn.conn_id, "length": len(record_bytes),
+        })
+        if self.failover_enabled and \
+                self.clock.now - self._last_ack_all >= 0.05:
+            self._last_ack_all = self.clock.now
+            data_streams = [
+                s for s in self.streams.values()
+                if not self._is_control(s) and s.recv_decrypted
+            ]
+            if data_streams:
+                self._send_ack(conn, data_streams)
+
+    def _accept_record(self, conn, stream, seq, record_bytes):
+        try:
+            plaintext = stream.ctx_recv.open_at(record_bytes, seq)
+        except AeadAuthenticationError:  # pragma: no cover
+            self.stats["demux_drops"] += 1
+            return
+        stream.mark_decrypted(seq)
+        self.stats["bytes_opened"] += len(plaintext)
+        conn.last_stream = stream
+        inner = rec.decode_inner(plaintext)
+        self._emit("tls", "record_opened", {
+            "conn": conn.conn_id, "stream": stream.stream_id,
+            "seq": seq, "type": inner.record_type,
+            "length": len(record_bytes),
+        })
+        self._handle_inner(conn, stream, seq, inner)
+
+    # -- record dispatch -----------------------------------------------------
+
+    def _handle_inner(self, conn, stream, seq, inner):
+        record_type = inner.record_type
+        if record_type == rec.RECORD_TYPE_STREAM_DATA:
+            self._handle_stream_data(conn, stream, seq, inner)
+        elif record_type == rec.RECORD_TYPE_APPDATA:
+            stream.recv_buffer += inner.payload
+            if self.on_stream_data is not None:
+                self.on_stream_data(stream)
+        elif record_type == rec.RECORD_TYPE_ACK:
+            for stream_id, next_seq in rec.decode_ack(inner.payload):
+                target = self.streams.get(stream_id)
+                if target is not None:
+                    target.prune_unacked(next_seq)
+        elif record_type == rec.RECORD_TYPE_SYNC:
+            failed_index, entries = rec.decode_sync(inner.payload)
+            self._handle_sync(conn, failed_index, entries)
+        elif record_type == rec.RECORD_TYPE_TCP_OPTION:
+            kind, data = rec.decode_tcp_option(inner.payload)
+            self._handle_tcp_option(conn, kind, data)
+        elif record_type == rec.RECORD_TYPE_EBPF:
+            self._handle_ebpf_chunk(conn, inner.payload)
+        elif record_type == rec.RECORD_TYPE_CONTROL:
+            self._handle_control(conn, inner.payload)
+        elif record_type == rec.RECORD_TYPE_PING:
+            self._send_typed(conn, rec.RECORD_TYPE_PONG, inner.payload)
+        elif record_type == rec.RECORD_TYPE_PONG:
+            if self.on_pong is not None:
+                self.on_pong(conn, inner.payload)
+
+    def _handle_stream_data(self, conn, stream, seq, inner):
+        flags, coupled_seq = rec.decode_stream_control(inner.control)
+        if coupled_seq is not None:
+            group = self._ensure_group(stream.coupled_group or 0)
+            if flags & rec.FLAG_FIN:
+                group.fin_received = True
+                group.fin_seq = coupled_seq
+            released = group.reorder.push(coupled_seq, inner.payload)
+            if released:
+                for payload in released:
+                    group.recv_buffer += payload
+                    group.bytes_delivered += len(payload)
+                if self.on_group_data is not None:
+                    self.on_group_data(group)
+        else:
+            if flags & rec.FLAG_FIN:
+                stream.fin_received = True
+            released = stream.recv_reorder.push(seq, inner.payload)
+            if released:
+                for payload in released:
+                    stream.recv_buffer += payload
+                stream.records_delivered += len(released)
+                stream.last_delivery = self.clock.now
+                if self.on_stream_data is not None:
+                    self.on_stream_data(stream)
+        self._maybe_ack(conn, stream, len(inner.payload),
+                        fin=bool(flags & rec.FLAG_FIN))
+
+    def _maybe_ack(self, conn, stream, payload_len, fin=False):
+        if not self.failover_enabled:
+            return
+        stream.records_since_ack += 1
+        stream.bytes_since_ack += payload_len
+        # A FIN record acks immediately -- covering every data stream,
+        # since a coupled transfer's FIN rides only one member stream --
+        # so the sender's replay buffer empties when the transfer ends.
+        if fin:
+            data_streams = [
+                s for s in self.streams.values()
+                if not self._is_control(s) and s.recv_decrypted
+            ]
+            self._send_ack(conn, data_streams or [stream])
+            for acked in data_streams:
+                acked.records_since_ack = 0
+                acked.bytes_since_ack = 0
+            return
+        if (stream.records_since_ack >= self.ack_interval
+                or stream.bytes_since_ack >= self.ack_interval *
+                self.record_payload):
+            self._send_ack(conn, [stream])
+            stream.records_since_ack = 0
+            stream.bytes_since_ack = 0
+
+    def _send_ack(self, conn, streams):
+        target = conn if conn.usable() else self._first_writable()
+        if target is None:
+            return
+        entries = [s.ack_state() for s in streams]
+        self._send_typed(target, rec.RECORD_TYPE_ACK,
+                         rec.encode_ack(entries))
+        self.stats["acks_sent"] += 1
+
+    def _ensure_group(self, group_id):
+        group = self.groups.get(group_id)
+        if group is None:
+            group = CoupledGroup(self, group_id, RoundRobinScheduler())
+            self.groups[group_id] = group
+        return group
+
+    def _handle_tcp_option(self, conn, kind, data):
+        if kind == OPT_USER_TIMEOUT:
+            import struct
+
+            (milliseconds,) = struct.unpack("!I", data)
+            conn.tcp.set_user_timeout(milliseconds / 1000.0)
+        if self.on_tcp_option is not None:
+            self.on_tcp_option(conn, kind, data)
+
+    def _handle_ebpf_chunk(self, conn, payload):
+        program_id, index, total, data = rec.decode_ebpf_chunk(payload)
+        chunks = self._ebpf_chunks.setdefault(program_id, {})
+        chunks[index] = data
+        if len(chunks) == total:
+            bytecode = b"".join(chunks[i] for i in range(total))
+            del self._ebpf_chunks[program_id]
+            self._attach_ebpf(conn, program_id, bytecode)
+
+    def _attach_ebpf(self, conn, program_id, bytecode):
+        """Ask the transport to verify and attach a received congestion
+        controller (drivers without pluggable CC decline)."""
+        attached = conn.tcp.attach_ebpf_congestion(
+            bytecode, program_name="prog%d" % program_id
+        )
+        if attached and self.on_ebpf_attached is not None:
+            self.on_ebpf_attached(conn, program_id)
+
+    def _handle_control(self, conn, payload):
+        import struct
+
+        opcode = payload[0]
+        if opcode == rec.CTRL_STREAM_ATTACH:
+            _, stream_id, from_seq, group_id = struct.unpack_from(
+                "!BIQI", payload, 0
+            )
+            stream = self.streams.get(stream_id)
+            if stream is None:
+                stream = self._make_stream(
+                    stream_id, conn,
+                    coupled_group=group_id or None,
+                )
+                if group_id:
+                    group = self._ensure_group(group_id)
+                    if stream not in group.streams:
+                        group.streams.append(stream)
+                if self.on_stream_open is not None:
+                    self.on_stream_open(stream)
+            else:
+                stream.connection = conn
+        elif opcode == rec.CTRL_STREAM_DETACH:
+            _, stream_id, final_seq = struct.unpack_from("!BIQ", payload, 0)
+            stream = self.streams.get(stream_id)
+            if stream is not None and stream.connection is conn:
+                pass  # demux keeps trying it; sender stopped using it
+        elif opcode == rec.CTRL_STREAM_CLOSE:
+            _, stream_id = struct.unpack_from("!BI", payload, 0)
+            stream = self.streams.get(stream_id)
+            if stream is not None:
+                stream.closed = True
+                self._emit("session", "stream_closed",
+                           {"stream": stream_id, "conn": conn.conn_id})
+        elif opcode == rec.CTRL_ENABLE_FAILOVER:
+            self.failover_enabled = True
+        elif opcode == rec.CTRL_NEW_COOKIES:
+            count = payload[1]
+            for i in range(count):
+                self.cookies.append(payload[2 + 16 * i:2 + 16 * (i + 1)])
+        elif opcode == rec.CTRL_NEW_TOKENS:
+            count = payload[1]
+            for i in range(count):
+                self.tokens.append(payload[2 + 16 * i:2 + 16 * (i + 1)])
+        elif opcode == rec.CTRL_ADD_ADDRESS:
+            from repro.tls.extensions import decode_address_list
+
+            for address in decode_address_list(payload[1:]):
+                if address not in self.peer_addresses:
+                    self.peer_addresses.append(address)
+        elif opcode == rec.CTRL_REMOVE_ADDRESS:
+            from repro.tls.extensions import decode_address_list
+
+            for address in decode_address_list(payload[1:]):
+                if address in self.peer_addresses:
+                    self.peer_addresses.remove(address)
+        elif opcode == rec.CTRL_TCPINFO_REQUEST:
+            self._send_control(
+                conn, rec.encode_tcpinfo_response(conn.tcp_info())
+            )
+        elif opcode == rec.CTRL_TCPINFO_RESPONSE:
+            info = rec.decode_tcpinfo_response(payload)
+            callbacks = self._tcpinfo_callbacks.pop(conn.conn_id, [])
+            for callback in callbacks:
+                callback(conn, info)
+        elif opcode == rec.CTRL_CONN_CLOSE:
+            conn.alive = False
+
+    def _handle_sync(self, conn, failed_conn_id, entries):
+        """Peer signalled failover: reattach our view of its streams to
+        this connection, move our own streams off the dead connection,
+        and replay our unacked records (Fig. 4)."""
+        self._emit("recovery", "sync_received", {
+            "conn": conn.conn_id, "failed": failed_conn_id,
+            "streams": len(entries),
+        })
+        failed = next(
+            (c for c in self.conns if c.conn_id == failed_conn_id
+             and c is not conn),
+            None,
+        )
+        if failed is not None:
+            if not failed.failed:
+                failed.failed = True
+                failed.alive = False
+                failed.tcp.abort()
+                failed.pending_out.clear()
+                failed.pending_out_bytes = 0
+        for stream_id, _resume_seq in entries:
+            stream = self.streams.get(stream_id)
+            if stream is not None:
+                stream.connection = conn
+        if failed is not None:
+            for stream in self.streams.values():
+                if stream.connection is failed and \
+                        not self._is_control(stream):
+                    stream.connection = conn
+            self._pending_failover = [
+                c for c in self._pending_failover if c is not failed
+            ]
+        self._replay_unacked(conn)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Failover engine (Sec. 3.3.2, Fig. 4)
+    # ------------------------------------------------------------------
+
+    def _wire_tcp_callbacks(self, conn):
+        conn.tcp.set_callbacks(
+            on_data=lambda _c: self._on_tcp_data(conn),
+            on_reset=lambda _c: self.conn_failed(conn, "rst"),
+            on_close=lambda _c: self.conn_closed(conn),
+            on_user_timeout=lambda _c: self.user_timeout_fired(conn),
+            on_send_space=lambda _c: self.conn_writable(conn),
+        )
+
+    def _on_user_timeout(self, conn):
+        """UTO fired: fail over only if a transfer actually hangs on
+        this connection; a merely idle session re-arms the timer."""
+        if self._has_pending_transfer(conn):
+            self._conn_failed(conn, "uto")
+        elif conn.tcp.user_timeout is not None:
+            conn.tcp.set_user_timeout(conn.tcp.user_timeout)
+
+    def _has_pending_transfer(self, conn):
+        """Is this connection carrying an unfinished transfer?"""
+        for stream in self.streams.values():
+            if self._is_control(stream) or stream.connection is not conn:
+                continue
+            if (stream.pending or stream.unacked
+                    or (stream.fin_pending and not stream.fin_sent)):
+                return True
+            # Inbound stream mid-transfer: recent data, no FIN yet.
+            if stream.recv_decrypted and not stream.fin_received and \
+                    stream.coupled_group is None and \
+                    self.clock.now - stream.last_delivery < 2.0:
+                return True
+        for group in self.groups.values():
+            if not any(s.connection is conn for s in group.streams):
+                continue
+            if group.pending or (group.fin_pending and not group.fin_sent):
+                return True
+            if group.bytes_delivered and not group.complete:
+                return True
+        return False
+
+    def _on_send_space(self, conn):
+        """Backwards-compatible alias for :meth:`conn_writable` minus
+        the input logging (internal callers)."""
+        self._drain(conn)
+        self._pump()
+        if self.on_writable is not None:
+            self.on_writable(self)
+
+    def _conn_closed(self, conn):
+        if conn.failed or not self.ready:
+            return
+        has_unacked = any(
+            s.unacked for s in self.streams.values()
+            if s.connection is conn
+        )
+        pending = conn.pending_out or conn.tcp.unsent_bytes()
+        if self.failover_enabled and (has_unacked or pending):
+            self._conn_failed(conn, "fin")
+        else:
+            conn.alive = False
+            self.emit_perf_totals()
+
+    def _conn_failed(self, conn, reason):
+        if conn.failed:
+            return
+        conn.failed = True
+        conn.alive = False
+        self._emit("session", "conn_failed",
+                   {"conn": conn.conn_id, "reason": reason})
+        self.emit_perf_totals()
+        if self.on_conn_failed is not None:
+            self.on_conn_failed(conn, reason)
+        if not self.failover_enabled or not self.ready:
+            return
+        self.stats["failovers"] += 1
+        target = self._failover_target(conn)
+        if target is None:
+            self._pending_failover.append(conn)
+            self._emit("recovery", "failover_pending",
+                       {"conn": conn.conn_id, "reason": reason})
+            self._on_no_failover_target(conn)
+            return
+        self._do_failover(conn, target)
+
+    def _on_no_failover_target(self, conn):
+        """Hook: the client overrides this to open + join a new path."""
+
+    def _resolve_pending_failover(self, new_conn):
+        """A connection became usable; complete any stalled failovers."""
+        pending, self._pending_failover = self._pending_failover, []
+        for failed in pending:
+            self._do_failover(failed, new_conn)
+
+    def _failover_target(self, failed_conn):
+        """Prefer a connection on different addresses than the failed one
+        (Sec. 4.2)."""
+        alive = [c for c in self.conns if c is not failed_conn
+                 and c.usable()]
+        if not alive:
+            return None
+        different = [
+            c for c in alive
+            if c.tcp.local.addr != failed_conn.tcp.local.addr
+            and c.tcp.remote.addr != failed_conn.tcp.remote.addr
+        ]
+        return (different or alive)[0]
+
+    def _do_failover(self, failed_conn, target):
+        moved = []
+        for stream in self.streams.values():
+            if stream.connection is failed_conn and \
+                    not self._is_control(stream):
+                stream.connection = target
+                moved.append(stream)
+        entries = []
+        for stream in moved:
+            resume = stream.unacked[0][0] if stream.unacked else \
+                stream.ctx_send.send_seq
+            entries.append((stream.stream_id, resume))
+        self._emit("recovery", "failover", {
+            "from": failed_conn.conn_id, "to": target.conn_id,
+            "streams": len(moved),
+        })
+        self._send_typed(
+            target, rec.RECORD_TYPE_SYNC,
+            rec.encode_sync(failed_conn.conn_id, entries),
+        )
+        self.stats["syncs_sent"] += 1
+        self._replay_unacked(target)
+        # Anything sealed but stuck in the dead TCP connection's buffer
+        # is covered by the unacked store; drop the queue.
+        failed_conn.pending_out.clear()
+        failed_conn.pending_out_bytes = 0
+        if self.on_failover is not None:
+            self.on_failover(failed_conn, target)
+        self._pump()
+
+    def _replay_unacked(self, target):
+        """Retransmit stored ciphertexts as-is (per-stream contexts make
+        the bytes connection-independent)."""
+        replayed = 0
+        for stream in self.streams.values():
+            if stream.connection is target and stream.unacked:
+                for _seq, wire in stream.unacked:
+                    self._conn_write(target, wire)
+                    self.stats["records_replayed"] += 1
+                    replayed += 1
+        if replayed:
+            self._emit("recovery", "replay",
+                       {"conn": target.conn_id, "records": replayed})

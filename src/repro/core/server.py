@@ -1,316 +1,30 @@
-"""TCPLS server endpoint.
+"""Simulator-facing TCPLS server (glue over the sans-I/O engine).
 
-A :class:`TcplsServer` listens on one port and manages many TCPLS
-sessions.  For each accepted TCP connection it runs a TLS handshake; a
-ClientHello carrying TCPLS Hello opens a new session (assigning the
-SESSID, a batch of single-use cookies, and the server's address
-advertisement in EncryptedExtensions), while a ClientHello carrying
-TCPLS Join attaches the connection to the existing session named by its
-SESSID -- after validating and consuming the cookie.  By issuing ``n``
-cookies the server caps the client at ``n`` additional connections
-(resource-exhaustion resistance, Sec. 3.3.2).
+Handshake answering, cookie/token minting and join validation live in
+:class:`repro.core.engine.server.TcplsServerEngine`; this module binds
+the listener to a simulated host's TCP stack and keeps the historical
+``TcplsServer(sim, stack, port, psk, ...)`` constructor.
 """
 
-import hashlib
-
-from repro.core.session import ConnectionState, TcplsSession
-from repro.core.stream import conn_id_from_cookie
-from repro.tls.endpoint import TlsServer
-from repro.tls.extensions import (
-    EXT_COOKIE_TCPLS,
-    EXT_TCPLS_ADDRESSES,
-    EXT_TCPLS_HELLO,
-    EXT_TCPLS_JOIN,
-    EXT_TCPLS_SESSID,
-    EXT_TCPLS_TOKEN,
-    EXT_TCPLS_TOKENS,
-    Extension,
-    decode_tcpls_join,
-    encode_address_list,
-    encode_cookie_list,
+from repro.core.drivers.sim import SimDriver
+from repro.core.engine.server import (
+    TcplsServerEngine,
+    TcplsServerSessionEngine,
 )
+from repro.core.session import TcplsSession
 
 
-class TcplsServerSession(TcplsSession):
+class TcplsServerSession(TcplsServerSessionEngine, TcplsSession):
     """One server-side session (a client plus its joined connections)."""
 
-    def __init__(self, server, session_id, **session_kwargs):
-        super().__init__(server.sim, is_client=False, **session_kwargs)
-        self.server = server
-        self.session_id = session_id
-        self.issued_cookies = set()
 
+class TcplsServer(TcplsServerEngine):
+    """Listener managing TCPLS sessions on a simulated host's port."""
 
-class TcplsServer:
-    """Listener managing TCPLS sessions on a port."""
+    session_cls = TcplsServerSession
 
-    def __init__(self, sim, stack, port, psk, cipher_names=("null-tag",),
-                 cookie_batch=8, auto_replenish=True, enable_tcpls=True,
-                 strict_extensions=False, advertise_addresses=True,
-                 token_mode=False, cc=None, **session_kwargs):
+    def __init__(self, sim, stack, port, psk, **server_kwargs):
+        driver = SimDriver(sim, stack)
+        super().__init__(driver, port, psk, **server_kwargs)
         self.sim = sim
         self.stack = stack
-        self.port = port
-        self.psk = psk
-        self.cipher_names = tuple(cipher_names)
-        self.cookie_batch = cookie_batch
-        #: refresh the client's cookie budget on each successful join
-        #: (failed probes over dead paths burn cookies silently)
-        self.auto_replenish = auto_replenish
-        #: Sec. 3.4 unlinkable joins: hand out single-use tokens that
-        #: identify both the session and the join right, instead of a
-        #: session-long SESSID plus per-join cookies.
-        self.token_mode = token_mode
-        self._tokens = {}          # token -> session
-        self.enable_tcpls = enable_tcpls
-        self.strict_extensions = strict_extensions
-        self.advertise_addresses = advertise_addresses
-        self.session_kwargs = session_kwargs
-        self.sessions = {}
-        self._cookie_seq = 0
-        #: called with each new TcplsServerSession so the application can
-        #: attach stream/data callbacks before any record arrives.
-        self.on_session = None
-        stack.listen(port, self._on_accept, cc=cc)
-
-    # ------------------------------------------------------------------
-
-    def _new_session_id(self):
-        material = b"%s:%d:%d" % (
-            self.stack.host.name.encode(), self.port, len(self.sessions)
-        )
-        return hashlib.sha256(material).digest()[:16]
-
-    def _mint_cookies(self, session, count):
-        cookies = []
-        for _ in range(count):
-            self._cookie_seq += 1
-            cookie = hashlib.sha256(
-                session.session_id + self._cookie_seq.to_bytes(8, "big")
-                + self.psk
-            ).digest()[:16]
-            session.issued_cookies.add(cookie)
-            cookies.append(cookie)
-        return cookies
-
-    def _mint_tokens(self, session, count):
-        tokens = []
-        for _ in range(count):
-            self._cookie_seq += 1
-            token = hashlib.sha256(
-                b"token" + session.session_id
-                + self._cookie_seq.to_bytes(8, "big") + self.psk
-            ).digest()[:16]
-            self._tokens[token] = session
-            tokens.append(token)
-        return tokens
-
-    def issue_tokens(self, session, count):
-        """Send a fresh batch of unlinkable join tokens in-band."""
-        from repro.core import record as rec
-
-        tokens = self._mint_tokens(session, count)
-        primary = session._first_writable()
-        if primary is not None:
-            payload = bytes([rec.CTRL_NEW_TOKENS, len(tokens)]) + b"".join(
-                tokens
-            )
-            session._send_control(primary, payload)
-        return tokens
-
-    def issue_cookies(self, session, count):
-        """Send a fresh batch of join cookies over the secure channel
-        (the server can extend the join budget at any time)."""
-        from repro.core import record as rec
-
-        cookies = self._mint_cookies(session, count)
-        primary = session._first_writable()
-        if primary is not None:
-            payload = bytes([rec.CTRL_NEW_COOKIES, len(cookies)]) + b"".join(
-                cookies
-            )
-            session._send_control(primary, payload)
-        return cookies
-
-    # ------------------------------------------------------------------
-
-    def _on_accept(self, tcp):
-        pending = {"session": None, "is_join": False, "conn_id": 0}
-
-        def ee_fn(client_hello):
-            return self._answer_client_hello(client_hello, pending)
-
-        tls = TlsServer(
-            self.psk, self.sim.rng, cipher_names=self.cipher_names,
-            encrypted_extensions_fn=ee_fn,
-            strict_extensions=self.strict_extensions,
-        )
-        # 0-RTT early data (Sec. 4.5): buffered until the session is up,
-        # then delivered as stream-0 application data.
-        early_chunks = []
-        tls.on_application_data = (
-            lambda _e, data: early_chunks.append(data))
-        pending["early"] = early_chunks
-        holder = {}
-
-        def on_complete(_endpoint):
-            self._on_handshake_complete(holder["conn"], pending)
-
-        tls.on_handshake_complete = on_complete
-
-        # The session is only known once the ClientHello is parsed, so
-        # the ConnectionState is created lazily inside the data callback.
-        conn = ConnectionState(None, 0, tcp, tls)
-        holder["conn"] = conn
-
-        def on_data(_c):
-            session = pending["session"]
-            if session is not None and conn.session is None:
-                conn.session = session
-            self._feed(conn, pending)
-
-        tcp.on_data = on_data
-        conn.session = None
-
-    def _feed(self, conn, pending):
-        session = pending["session"]
-        if session is not None and getattr(conn, "_wired", False):
-            session._on_tcp_data(conn)
-            return
-        data = conn.tcp.recv()
-        if not data:
-            return
-        from repro.tls.endpoint import TlsError
-        from repro.tls.record import TlsRecordError
-
-        try:
-            conn.tls.feed(data)
-        except (TlsError, TlsRecordError):
-            conn.tcp.abort()
-            return
-        out = conn.tls.data_to_send()
-        if out:
-            conn.tcp.send(out)
-
-    def _answer_client_hello(self, client_hello, pending):
-        token_ext = client_hello.find_extension(EXT_TCPLS_TOKEN)
-        if token_ext is not None:
-            return self._answer_token_join(token_ext, pending)
-        join_ext = client_hello.find_extension(EXT_TCPLS_JOIN)
-        if join_ext is not None:
-            return self._answer_join(join_ext, pending)
-        hello_ext = client_hello.find_extension(EXT_TCPLS_HELLO)
-        if hello_ext is not None and self.enable_tcpls:
-            return self._answer_hello(pending)
-        return []
-
-    def _answer_hello(self, pending):
-        session_id = self._new_session_id()
-        session = TcplsServerSession(self, session_id,
-                                     **self.session_kwargs)
-        self.sessions[session_id] = session
-        pending["session"] = session
-        extensions = [Extension(EXT_TCPLS_HELLO, b"")]
-        if self.token_mode:
-            tokens = self._mint_tokens(session, self.cookie_batch)
-            extensions.append(Extension(EXT_TCPLS_TOKENS,
-                                        encode_cookie_list(tokens)))
-        else:
-            cookies = self._mint_cookies(session, self.cookie_batch)
-            extensions.append(Extension(EXT_TCPLS_SESSID, session_id))
-            extensions.append(Extension(EXT_COOKIE_TCPLS,
-                                        encode_cookie_list(cookies)))
-        if self.advertise_addresses:
-            extensions.append(Extension(
-                EXT_TCPLS_ADDRESSES,
-                encode_address_list(self.stack.host.addresses()),
-            ))
-        return extensions
-
-    def _answer_token_join(self, token_ext, pending):
-        from repro.tls.endpoint import TlsError
-
-        token = token_ext.data
-        session = self._tokens.pop(token, None)  # single use
-        if session is None:
-            raise TlsError("TCPLS join: unknown or reused token")
-        pending["session"] = session
-        pending["is_join"] = True
-        pending["conn_id"] = conn_id_from_cookie(token)
-        return [Extension(EXT_TCPLS_HELLO, b"")]
-
-    def _answer_join(self, join_ext, pending):
-        from repro.tls.endpoint import TlsError
-
-        session_id, cookie = decode_tcpls_join(join_ext.data)
-        session = self.sessions.get(session_id)
-        if session is None:
-            raise TlsError("TCPLS join: unknown session")
-        if cookie not in session.issued_cookies:
-            raise TlsError("TCPLS join: invalid or reused cookie")
-        session.issued_cookies.discard(cookie)  # single use
-        pending["session"] = session
-        pending["is_join"] = True
-        pending["conn_id"] = conn_id_from_cookie(cookie)
-        return [Extension(EXT_TCPLS_HELLO, b"")]
-
-    def _on_handshake_complete(self, conn, pending):
-        session = pending["session"]
-        conn.alive = True
-        if session is None:
-            # Plain TLS client: wrap it in a degraded session so the
-            # application still gets stream-0 data callbacks.
-            session = TcplsServerSession(self, b"\x00" * 16,
-                                         **self.session_kwargs)
-            session.tcpls_enabled = False
-        conn.session = session
-        conn.index = len(session.conns)
-        conn.conn_id = pending.get("conn_id", 0)
-        session.conns.append(conn)
-        session._wire_tcp_callbacks(conn)
-        conn._wired = True
-        session._emit("session", "conn_established", {
-            "conn": conn.conn_id, "index": conn.index,
-            "local": str(conn.tcp.local), "remote": str(conn.tcp.remote),
-        })
-        if conn.index == 0:
-            session._setup_keys(conn.tls.schedule, conn.tls.cipher_cls)
-            session.tcpls_enabled = pending["session"] is not None
-            session._install_control_stream(conn)
-            session.ready = True
-            session._emit("session", "ready",
-                          {"tcpls": session.tcpls_enabled})
-            if self.on_session is not None:
-                self.on_session(session)
-            if session.on_ready is not None:
-                session.on_ready(session)
-            early = pending.get("early") or []
-            if early:
-                stream0 = conn.control_stream
-                for chunk in early:
-                    stream0.recv_buffer += chunk
-                if session.on_stream_data is not None:
-                    session.on_stream_data(stream0)
-        else:
-            session._install_control_stream(conn)
-            # Keep the client's join budget topped up: failed probes over
-            # dead paths burn single-use cookies the server never sees
-            # (Sec. 3.3.2 allows the server to send additional cookies
-            # at any time), so each successful join refreshes a batch.
-            if self.auto_replenish:
-                if self.token_mode:
-                    self.issue_tokens(session, self.cookie_batch)
-                else:
-                    self.issue_cookies(session, self.cookie_batch)
-            session._emit("session", "join", {"conn": conn.conn_id,
-                                              "index": conn.index})
-            session._resolve_pending_failover(conn)
-            if session.on_join is not None:
-                session.on_join(conn)
-        if session.on_conn_established is not None:
-            session.on_conn_established(conn)
-        out = conn.tls.data_to_send()
-        if out:
-            session._conn_write(conn, out)
-        session._takeover_tls(conn)
-        session._pump()

@@ -10,6 +10,7 @@ receiver reorders with a heap.
 """
 
 from repro.core.crypto_context import StreamCryptoContext
+from repro.core.errors import StreamClosedError
 from repro.core.record import (
     FLAG_COUPLED,
     encode_stream_control,
@@ -71,7 +72,8 @@ class TcplsStream:
         """Queue application bytes (sealed lazily at transmit time so
         steering can redirect not-yet-sent data)."""
         if self.closed or self.fin_pending:
-            raise RuntimeError("send on closed stream %d" % self.stream_id)
+            raise StreamClosedError(
+                "send on closed stream %d" % self.stream_id)
         self.pending += data
         self.session._pump()
         return len(data)
@@ -186,7 +188,8 @@ class CoupledGroup:
     def send(self, data):
         """Queue object bytes for scheduling across member streams."""
         if self.fin_pending:
-            raise RuntimeError("send on finished group %d" % self.group_id)
+            raise StreamClosedError(
+                "send on finished group %d" % self.group_id)
         self.pending += data
         self.session._pump()
         return len(data)

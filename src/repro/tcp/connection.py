@@ -306,6 +306,46 @@ class TcpConnection:
     def bytes_in_flight(self):
         return max(self.snd_nxt - self.snd_una - self._ctrl_seq_in_flight(), 0)
 
+    def congestion_window(self):
+        """Current congestion window in bytes (Transport interface)."""
+        return self.cc.cwnd
+
+    def set_callbacks(self, on_data=None, on_close=None, on_reset=None,
+                      on_user_timeout=None, on_send_space=None,
+                      on_established=None):
+        """Install event callbacks (Transport interface); ``None``
+        leaves a slot unchanged."""
+        if on_data is not None:
+            self.on_data = on_data
+        if on_close is not None:
+            self.on_close = on_close
+        if on_reset is not None:
+            self.on_reset = on_reset
+        if on_user_timeout is not None:
+            self.on_user_timeout = on_user_timeout
+        if on_send_space is not None:
+            self.on_send_space = on_send_space
+        if on_established is not None:
+            self.on_established = on_established
+
+    def attach_ebpf_congestion(self, bytecode, program_name="prog"):
+        """Verify ``bytecode`` and swap in the eBPF congestion
+        controller, preserving the current window state (Sec. 4.4).
+        Returns False when verification rejects the program."""
+        from repro.ebpf.cc_hooks import EbpfCongestionControl
+        from repro.ebpf.verifier import VerificationError
+
+        try:
+            cc = EbpfCongestionControl.from_bytecode(
+                self.mss, bytecode, program_name=program_name
+            )
+        except (VerificationError, ValueError):
+            return False  # reject quietly; sender is not trusted blindly
+        cc.cwnd = self.cc.cwnd
+        cc.ssthresh = self.cc.ssthresh
+        self.cc = cc
+        return True
+
     def _ctrl_seq_in_flight(self):
         ctrl = 0
         if self.snd_una <= self.iss:

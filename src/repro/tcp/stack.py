@@ -106,9 +106,18 @@ class TcpStack:
         return self.host.send(packet)
 
     def _allocate_port(self):
-        port = self._next_port
-        self._next_port += 1
-        return port
+        """Pick a free ephemeral port, wrapping within the IANA dynamic
+        range and skipping ports still used by live connections."""
+        in_use = {key[1] for key in self._connections}
+        total = 65536 - EPHEMERAL_PORT_BASE
+        for _ in range(total):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port > 65535:
+                self._next_port = EPHEMERAL_PORT_BASE
+            if port not in in_use and port not in self._listeners:
+                return port
+        raise OSError("ephemeral port range exhausted")
 
     def _key(self, local_addr, local_port, remote_addr, remote_port):
         return (str(local_addr), local_port, str(remote_addr), remote_port)

@@ -1,0 +1,51 @@
+"""Lint: the sans-I/O engine must not reach into the I/O layers.
+
+Walks every module under ``repro.core.engine`` with :mod:`ast` and
+rejects any import (top-level *or* nested inside a function) of
+``repro.net`` or ``repro.tcp`` -- those belong to drivers.  This is the
+acceptance gate for the engine/driver split: the engine only sees the
+Transport/Clock/Driver interfaces.
+"""
+
+import ast
+import pathlib
+
+import repro.core.engine
+
+ENGINE_DIR = pathlib.Path(repro.core.engine.__file__).parent
+FORBIDDEN_PREFIXES = ("repro.net", "repro.tcp")
+
+
+def _forbidden(name):
+    return any(name == prefix or name.startswith(prefix + ".")
+               for prefix in FORBIDDEN_PREFIXES)
+
+
+def _imports_of(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.level == 0:
+                yield node.module, node.lineno
+
+
+def test_engine_modules_do_not_import_io_layers():
+    offences = []
+    for path in sorted(ENGINE_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module, lineno in _imports_of(tree):
+            if _forbidden(module):
+                offences.append("%s:%d imports %s"
+                                % (path.name, lineno, module))
+    assert not offences, (
+        "engine modules must stay I/O-agnostic:\n" + "\n".join(offences)
+    )
+
+
+def test_engine_package_is_nonempty():
+    modules = list(ENGINE_DIR.glob("*.py"))
+    names = {p.stem for p in modules}
+    assert {"interfaces", "session", "client", "server", "scheduler",
+            "replay"} <= names

@@ -64,6 +64,9 @@ class FakeConn:
     def bytes_in_flight(self):
         return self._in_flight
 
+    def congestion_window(self):
+        return self.cc.cwnd
+
 
 class FakeStream:
     def __init__(self, srtt, in_flight=0):

@@ -84,3 +84,62 @@ def test_stack_forgets_closed_connections():
     sim.run(until=10)
     assert cstack.connections() == []
     assert sstack.connections() == []
+
+
+# ---------------------------------------------------------------------------
+# Ephemeral port allocation and forget()
+# ---------------------------------------------------------------------------
+
+
+def test_ephemeral_port_wraps_at_range_end():
+    from repro.tcp.stack import EPHEMERAL_PORT_BASE
+
+    sim, topo, cstack, _ = make_net(n_paths=1)
+    cstack._next_port = 65535
+    assert cstack._allocate_port() == 65535
+    assert cstack._allocate_port() == EPHEMERAL_PORT_BASE
+
+
+def test_ephemeral_port_skips_ports_in_use():
+    from repro.tcp.stack import EPHEMERAL_PORT_BASE
+
+    sim, topo, cstack, _ = make_net(n_paths=1)
+    base = EPHEMERAL_PORT_BASE
+    # Occupy the next two ports with (fake) live connections and a
+    # listener on the third; allocation must skip all of them.
+    cstack._connections[("10.0.0.1", base, "10.0.0.2", 443)] = object()
+    cstack._connections[("10.0.0.1", base + 1, "10.0.0.2", 443)] = object()
+    cstack.listen(base + 2, lambda c: None)
+    assert cstack._allocate_port() == base + 3
+
+
+def test_ephemeral_port_collision_after_wrap():
+    from repro.tcp.stack import EPHEMERAL_PORT_BASE
+
+    sim, topo, cstack, _ = make_net(n_paths=1)
+    base = EPHEMERAL_PORT_BASE
+    cstack._connections[("10.0.0.1", base, "10.0.0.2", 443)] = object()
+    cstack._next_port = 65535
+    assert cstack._allocate_port() == 65535
+    # Wrapped to base, which is in use -> base + 1.
+    assert cstack._allocate_port() == base + 1
+
+
+def test_ephemeral_port_exhaustion_raises():
+    sim, topo, cstack, _ = make_net(n_paths=1)
+    for port in range(49152, 65536):
+        cstack._connections[("10.0.0.1", port, "10.0.0.2", 443)] = object()
+    with pytest.raises(OSError):
+        cstack._allocate_port()
+
+
+def test_forget_unknown_connection_is_noop():
+    sim, topo, cstack, sstack = make_net(n_paths=1)
+    sstack.listen(443, lambda c: None)
+    p = topo.path(0)
+    conn = cstack.connect(p.client_addr, Endpoint(p.server_addr, 443))
+    cstack.forget(conn)
+    assert cstack.connections() == []
+    # Forgetting a connection whose key is already gone must not raise.
+    cstack.forget(conn)
+    assert cstack.connections() == []
