@@ -1,7 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-obs bench bench-check trace-demo
+# Worker processes for the parallel sweep (make bench-check JOBS=8).
+# Output is byte-identical for any JOBS value; see repro/perf/sweep.py.
+JOBS ?= 1
+
+.PHONY: test test-obs bench bench-check bench-sweep trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,9 +20,14 @@ bench:
 # benchmark slowed >20% against the committed baseline
 # (benchmarks/baselines/BENCH_micro.json; regenerate it with the same
 # pytest command when a slowdown is intended).
-bench-check:
+bench-check: bench-sweep
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest bench_micro_hotpaths.py -q -s --benchmark-only --benchmark-disable-gc --benchmark-min-rounds=7 --json BENCH_micro.json
 	$(PYTHON) benchmarks/compare.py benchmarks/baselines/BENCH_micro.json benchmarks/BENCH_micro.json $(BENCH_COMPARE_FLAGS)
+
+# Scenario/model sweep, sharded over $(JOBS) worker processes.  The
+# merged JSON is independent of JOBS (deterministic merge order).
+bench-sweep:
+	$(PYTHON) benchmarks/runner.py --jobs $(JOBS) --json benchmarks/BENCH_sweep.json
 
 # Run the Fig. 8 failover scenario with the full observability stack
 # armed and write trace_failover.qlog (inspect with QVIS).

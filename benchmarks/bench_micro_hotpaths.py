@@ -141,6 +141,26 @@ def test_send_buffer_write_peek_ack_churn(benchmark):
     assert benchmark(run) == 128 * 4096
 
 
+def test_send_buffer_sequential_peek_cursor(benchmark):
+    """The train builder's access pattern: many small app writes, then
+    MSS-stride peeks walking the whole buffer.  The peek cursor makes
+    each step O(1) where a cold bisect pays O(log chunks)."""
+    buf = SendBuffer(base_seq=0, capacity=None)
+    for _ in range(2048):
+        buf.write(b"\xAB" * 512)
+
+    def run():
+        total = 0
+        seq = 0
+        end = buf.end_seq
+        while seq < end:
+            total += len(buf.peek(seq, 1460))
+            seq += 1460
+        return total
+
+    assert benchmark(run) == 2048 * 512
+
+
 def test_receive_buffer_window_with_ooo(benchmark):
     """window() is computed per outgoing segment; with the cached
     out-of-order byte count it stays O(1) however fragmented."""

@@ -65,7 +65,7 @@ def main(argv=None):
         ratio = new_value / old_value
         flag = ""
         if ratio > 1.0 + args.threshold:
-            regressions.append((name, ratio))
+            regressions.append((name, ratio, old_value, new_value))
             flag = "  REGRESSED"
         elif ratio < 1.0 - args.threshold:
             improved += 1
@@ -84,9 +84,15 @@ def main(argv=None):
           % (compared, improved, len(regressions), len(only_new),
              len(only_old)))
     if regressions:
-        print("\nregressions beyond %.0f%%:" % (args.threshold * 100))
-        for name, ratio in regressions:
-            print("  %s: %.2fx" % (name, ratio))
+        regressions.sort(key=lambda r: r[1], reverse=True)
+        print("\nFAIL: %d benchmark(s) slower than baseline by more than "
+              "%.0f%% (metric: %s), worst first:"
+              % (len(regressions), args.threshold * 100, args.metric))
+        for name, ratio, old_value, new_value in regressions:
+            print("  %-48s %.6fs -> %.6fs  (+%.1f%%)"
+                  % (name, old_value, new_value, (ratio - 1.0) * 100))
+        print("\nIf the slowdown is intended, refresh the baseline "
+              "(see the bench-check target in the Makefile).")
         return 1
     return 0
 

@@ -1,0 +1,72 @@
+"""Parallel bench/scenario sweep runner.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/runner.py --jobs 4 --json out.json
+
+Shards the sweep points from :mod:`sweep_points` across worker
+processes (see :mod:`repro.perf.sweep` for the determinism rules) and
+writes a canonical JSON report.  The output is byte-identical for any
+``--jobs`` value; CI asserts ``--jobs 1`` == ``--jobs 2`` with ``cmp``.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the merged report here")
+    parser.add_argument("--points", default=None,
+                        help="comma-separated point-name filter "
+                             "(substring match)")
+    parser.add_argument("--list", action="store_true",
+                        help="list point names and exit")
+    args = parser.parse_args(argv)
+
+    import sweep_points
+    from repro.perf import run_sweep, sweep_to_json
+
+    points = sweep_points.default_points()
+    if args.points:
+        wanted = [w.strip() for w in args.points.split(",") if w.strip()]
+        points = [p for p in points
+                  if any(w in p.name for w in wanted)]
+    if args.list:
+        for point in points:
+            print(point.name)
+        return 0
+    if not points:
+        print("no sweep points matched", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    results = run_sweep(points, jobs=args.jobs)
+    elapsed = time.perf_counter() - started
+
+    failures = [r for r in results if "error" in r]
+    text = sweep_to_json(results, args.json)
+    if args.json:
+        print("wrote %s (%d points, %d workers, %.1fs wall)"
+              % (args.json, len(results), args.jobs, elapsed))
+    else:
+        sys.stdout.write(text)
+    for failure in failures:
+        print("FAILED %s: %s" % (failure["name"], failure["error"]),
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Sweep points for the parallel bench runner (``runner.py``).
+
+Each point is a plain top-level function returning a JSON-serialisable
+metrics dict, so :mod:`repro.perf.sweep` can pickle it by reference
+into spawn workers.  Scenario points run scaled-down versions of the
+fig8/fig9 simulations (a couple of MiB instead of tens) -- big enough
+to exercise handshakes, outages and recovery, small enough that the
+JOBS=1 vs JOBS=2 determinism gate in CI stays cheap.
+
+Every metric here must be bit-deterministic: times come from the
+simulator clock, byte counts from stack counters.  Nothing may read
+wall-clock time or unseeded randomness.
+"""
+
+from common import build_mptcp_upload, build_tcpls_download
+from repro.net import Simulator, build_faulty_multipath
+from repro.perf import (
+    CpuProfile,
+    TcplsModel,
+    TcplsVariant,
+    TlsTcpModel,
+    solve_throughput_gbps,
+)
+
+POINT_SIZE = 2 << 20
+HORIZON = 60.0
+
+
+def _series_digest(series):
+    """Order-sensitive checksum of a goodput series (stable floats)."""
+    digest = 0.0
+    for t, v in series:
+        digest += t * 3.0 + v
+    return round(digest, 6)
+
+
+def fig7_model_point(stack="tcpls", mtu=1500):
+    """Analytic Fig. 7 throughput for one stack/MTU combination."""
+    cpu = CpuProfile()
+    if stack == "tls-tcp":
+        model = TlsTcpModel(cpu, mtu=mtu)
+    elif stack == "tcpls":
+        model = TcplsModel(cpu, mtu=mtu)
+    elif stack == "tcpls-failover":
+        model = TcplsModel(cpu, mtu=mtu, variant=TcplsVariant.FAILOVER)
+    elif stack == "tcpls-multipath":
+        model = TcplsModel(cpu, mtu=mtu, variant=TcplsVariant.MULTIPATH)
+    else:
+        raise ValueError("unknown stack %r" % stack)
+    gbps = solve_throughput_gbps(model)
+    return {"stack": stack, "mtu": mtu, "gbps": round(gbps, 6)}
+
+
+def fig8_tcpls_point(outage="blackhole", outage_at=0.3, size=POINT_SIZE):
+    """Scaled-down Fig. 8: TCPLS download through one outage."""
+    sim = Simulator(seed=8)
+    topo = build_faulty_multipath(sim, n_paths=2)
+    client, sessions, probe, done = build_tcpls_download(sim, topo, size)
+    if outage == "blackhole":
+        topo.flap_path(0, at=outage_at)
+    else:
+        topo.rst_path(0, at=outage_at, direction="s2c")
+    sim.run(until=HORIZON)
+    return {
+        "outage": outage,
+        "done_at": round(done[0], 9) if done else None,
+        "series_digest": _series_digest(probe.series()),
+        "bytes_delivered": probe.total,
+    }
+
+
+def fig8_mptcp_point(outage="blackhole", outage_at=0.3, size=POINT_SIZE):
+    """Scaled-down Fig. 8: MPTCP upload through one outage."""
+    sim = Simulator(seed=8)
+    topo = build_faulty_multipath(sim, n_paths=2)
+    client, probe, done = build_mptcp_upload(sim, topo, size,
+                                             path_manager="backup")
+    if outage == "blackhole":
+        topo.flap_path(0, at=outage_at)
+    else:
+        topo.rst_path(0, at=outage_at, direction="c2s")
+    sim.run(until=HORIZON)
+    return {
+        "outage": outage,
+        "done_at": round(done[0], 9) if done else None,
+        "series_digest": _series_digest(probe.series()),
+        "bytes_delivered": probe.total,
+    }
+
+
+def fig9_rotation_point(rotate_every=0.5, size=POINT_SIZE, n_paths=4):
+    """Scaled-down Fig. 9: rotating single working path."""
+    sim = Simulator(seed=9)
+    topo = build_faulty_multipath(sim, n_paths=n_paths,
+                                  families=[4, 6, 4, 6])
+    client, sessions, probe, done = build_tcpls_download(
+        sim, topo, size, uto=None,
+        client_kwargs={"join_timeout": 0.5},
+    )
+    client.auto_user_timeout = 0.25
+    topo.rotate_working(rotate_every)
+    sim.run(until=HORIZON)
+    return {
+        "rotate_every": rotate_every,
+        "done_at": round(done[0], 9) if done else None,
+        "series_digest": _series_digest(probe.series()),
+        "bytes_delivered": probe.total,
+    }
+
+
+def default_points():
+    """The standard sweep, in canonical (merge) order."""
+    from repro.perf import SweepPoint
+
+    points = []
+    for stack in ("tls-tcp", "tcpls", "tcpls-failover", "tcpls-multipath"):
+        for mtu in (1500, 9000):
+            points.append(SweepPoint(
+                "fig7/%s/mtu%d" % (stack, mtu),
+                fig7_model_point, {"stack": stack, "mtu": mtu}))
+    for outage in ("blackhole", "rst"):
+        points.append(SweepPoint("fig8/tcpls/%s" % outage,
+                                 fig8_tcpls_point, {"outage": outage}))
+        points.append(SweepPoint("fig8/mptcp/%s" % outage,
+                                 fig8_mptcp_point, {"outage": outage}))
+    points.append(SweepPoint("fig9/rotation", fig9_rotation_point))
+    return points

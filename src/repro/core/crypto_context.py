@@ -77,6 +77,32 @@ class StreamCryptoContext:
         self.send_seq += 1
         return header + ciphertext
 
+    def seal_many(self, inner_plaintexts):
+        """Seal consecutive records in one pass.
+
+        Byte-identical to ``[self.seal(p) for p in inner_plaintexts]``;
+        the win is hoisting the cipher/IV attribute lookups out of the
+        per-record loop, which matters when the session pump seals a
+        whole congestion window's worth of records per writable event.
+        """
+        cipher = self.cipher
+        cipher_seal = cipher.seal
+        tag_size = cipher.tag_size
+        iv_left = self._iv_left
+        iv_right = self._iv_right
+        seq = self.send_seq
+        out = []
+        append = out.append
+        for inner in inner_plaintexts:
+            nonce = iv_left + (
+                iv_right ^ (seq & 0xFFFFFFFFFFFFFFFF)).to_bytes(8, "big")
+            header = encode_record_header(
+                CONTENT_APPLICATION_DATA, len(inner) + tag_size)
+            append(header + cipher_seal(nonce, inner, aad=header))
+            seq += 1
+        self.send_seq = seq
+        return out
+
     def open_at(self, record, record_seq):
         """Decrypt a full wire record at an explicit sequence.
 

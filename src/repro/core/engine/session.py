@@ -572,36 +572,97 @@ class TcplsEngine:
         return self.record_payload - control_len - 2
 
     def _pump_stream(self, stream):
+        """Seal pending stream bytes into records, a batch at a time.
+
+        The outer loop recomputes the true connection budget; the inner
+        loop seals against a conservative local copy (decremented by
+        each record's full wire length, i.e. assuming nothing leaves the
+        TCP buffer meanwhile), so a batch never seals a record the
+        record-at-a-time pump would not have.  Within a batch the
+        framing, AEAD sealing (:meth:`seal_many`), unacked bookkeeping
+        and transport drain each run as one pass instead of per record
+        -- same records, same wire bytes, one ``_drain`` per batch.
+        """
         conn = stream.connection
         sent = False
         while (stream.pending or
                (stream.fin_pending and not stream.fin_sent)):
-            if conn is None or not conn.usable() or \
-                    self._conn_budget(conn) <= 0:
+            if conn is None or not conn.usable():
                 break
-            last = (
-                stream.fin_pending
-                and len(stream.pending) <= self._chunk_size(1)
-            )
-            flags = rec.FLAG_FIN if last else 0
-            control = rec.encode_stream_control(flags)
-            size = self._chunk_size(len(control))
-            # Zero-copy: hand the pump a view of the app buffer; the
-            # record framer's gather is the send path's only copy.  The
-            # view must be released before the bytearray can shrink.
-            chunk = memoryview(stream.pending)[:size]
+            budget = self._conn_budget(conn)
+            if budget <= 0:
+                break
+            ctx = stream.ctx_send
+            record_overhead = ctx.cipher.tag_size + 5  # TLS header
+            pending = stream.pending
+            remaining = len(pending)
+            fin_left = stream.fin_pending and not stream.fin_sent
+            inners = []
+            offset = 0
+            # Zero-copy: hand the framer views of the app buffer; the
+            # gather in encode_inner is the send path's only copy.  The
+            # views must be released before the bytearray can shrink.
+            view = memoryview(pending)
             try:
-                self._send_typed(
-                    conn, rec.RECORD_TYPE_STREAM_DATA, chunk, control,
-                    stream=stream, store_unacked=True,
-                )
+                while budget > 0 and (remaining or fin_left):
+                    last = fin_left and remaining <= self._chunk_size(1)
+                    flags = rec.FLAG_FIN if last else 0
+                    control = rec.encode_stream_control(flags)
+                    size = self._chunk_size(len(control))
+                    chunk = view[offset:offset + size]
+                    try:
+                        inners.append(rec.encode_inner(
+                            rec.RECORD_TYPE_STREAM_DATA, chunk, control))
+                    finally:
+                        chunk.release()
+                    consumed = min(size, remaining)
+                    offset += consumed
+                    remaining -= consumed
+                    budget -= len(inners[-1]) + record_overhead
+                    if last:
+                        fin_left = False
+                        stream.fin_sent = True
             finally:
-                chunk.release()
-            del stream.pending[:size]
-            if last:
-                stream.fin_sent = True
+                view.release()
+            del pending[:offset]
+            seq = ctx.send_seq
+            wires = ctx.seal_many(inners)
+            self._book_sealed(conn, stream, seq, inners, wires)
             sent = True
         return sent
+
+    def _book_sealed(self, conn, stream, first_seq, inners, wires):
+        """Post-seal bookkeeping for one pump batch: unacked replay
+        copies, stats, per-record trace events, one queue append pass
+        and one transport drain."""
+        if self.failover_enabled:
+            unacked = stream.unacked
+            seq = first_seq
+            for wire in wires:
+                unacked.append((seq, wire))
+                seq += 1
+        self.stats["records_sent"] += len(wires)
+        self.stats["bytes_sealed"] += sum(len(i) for i in inners)
+        if self.bus.wants("tls"):
+            seq = first_seq
+            for wire in wires:
+                self._emit("tls", "record_sealed", {
+                    "conn": conn.conn_id, "stream": stream.stream_id,
+                    "seq": seq, "type": rec.RECORD_TYPE_STREAM_DATA,
+                    "length": len(wire),
+                })
+                seq += 1
+        pending_out = conn.pending_out
+        total = 0
+        for wire in wires:
+            pending_out.append(wire)
+            total += len(wire)
+        conn.pending_out_bytes += total
+        self._drain(conn)
+        self._emit("perf", "pump_batch", {
+            "conn": conn.conn_id, "stream": stream.stream_id,
+            "records": len(wires), "bytes": total,
+        })
 
     def _pump_group(self, group):
         sent = False

@@ -11,18 +11,18 @@ import ipaddress
 class IPAddress:
     """An IPv4 or IPv6 address with a stable canonical form."""
 
-    __slots__ = ("_addr",)
+    __slots__ = ("_addr", "_text", "family")
 
     def __init__(self, text):
         if isinstance(text, IPAddress):
             self._addr = text._addr
+            self._text = text._text
         else:
             self._addr = ipaddress.ip_address(text)
-
-    @property
-    def family(self):
-        """4 or 6."""
-        return self._addr.version
+            self._text = None
+        #: 4 or 6.  A plain attribute, not a property: the per-packet
+        #: header-size lookup reads it on every wire_size() call.
+        self.family = self._addr.version
 
     @property
     def is_v4(self):
@@ -54,10 +54,16 @@ class IPAddress:
         return hash(self._addr)
 
     def __str__(self):
-        return str(self._addr)
+        # The canonical text form is the demultiplexer's dict key, hit
+        # once per packet -- cache it (ipaddress re-renders every time,
+        # which for IPv6 means hextet compression per call).
+        text = self._text
+        if text is None:
+            text = self._text = str(self._addr)
+        return text
 
     def __repr__(self):
-        return "IPAddress(%r)" % str(self._addr)
+        return "IPAddress(%r)" % str(self)
 
 
 class Endpoint:

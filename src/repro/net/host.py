@@ -38,6 +38,12 @@ class Host:
         self._stacks = {}
         self.rx_packets = 0
         self.tx_packets = 0
+        #: memoised route() results keyed by (dst, src); address
+        #: comparisons go through the ipaddress module and dominate the
+        #: per-packet send cost otherwise.  Invalidated by every
+        #: topology mutation (interfaces and addresses are immutable
+        #: once attached, and up/down is checked after routing).
+        self._route_cache = {}
 
     # -- configuration -------------------------------------------------
 
@@ -45,6 +51,7 @@ class Host:
         """Attach a new interface and return it."""
         iface = Interface(name, address, tx_link)
         self.interfaces.append(iface)
+        self._route_cache.clear()
         return iface
 
     def interface_for_address(self, address):
@@ -65,10 +72,12 @@ class Host:
     def add_route(self, dst_address, interface):
         """Route an exact destination address through an interface."""
         self._routes[dst_address] = interface
+        self._route_cache.clear()
 
     def add_default_route(self, family, interface):
         """Per-family fallback route."""
         self._default_routes[family] = interface
+        self._route_cache.clear()
 
     def register_stack(self, proto, stack):
         """Register the transport stack handling ``proto`` packets."""
@@ -86,14 +95,21 @@ class Host:
         a specific local address (how TCPLS pins connections to paths)
         always leaves through the owning interface.
         """
+        cache = self._route_cache
+        key = (dst_address, src_address)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        iface = None
         if src_address is not None:
             iface = self.interface_for_address(src_address)
-            if iface is not None:
-                return iface
-        iface = self._routes.get(dst_address)
-        if iface is not None:
-            return iface
-        return self._default_routes.get(dst_address.family)
+        if iface is None:
+            iface = self._routes.get(dst_address)
+        if iface is None:
+            iface = self._default_routes.get(dst_address.family)
+        cache[key] = iface
+        return iface
 
     def send(self, packet):
         """Transmit a packet out of the interface routing selects.
@@ -108,6 +124,21 @@ class Host:
             return False
         self.tx_packets += 1
         iface.tx_link.send(packet)
+        return True
+
+    def send_train(self, packets):
+        """Transmit a burst of same-flow packets as one link train.
+
+        All packets must share ``(src, dst)`` -- the caller (the TCP
+        segmentation-offload path) guarantees it, so routing runs once
+        for the whole train.  Same silent-blackhole semantics as
+        :meth:`send`.
+        """
+        iface = self.route(packets[0].dst, packets[0].src)
+        if iface is None or not iface.up or iface.tx_link is None:
+            return False
+        self.tx_packets += len(packets)
+        iface.tx_link.send_train(packets)
         return True
 
     def receive(self, packet):

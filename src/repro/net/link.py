@@ -128,10 +128,41 @@ class Link:
 
     def send(self, packet):
         """Entry point for the transmitting node."""
+        arrival = self._admit(packet)
+        if arrival is not None:
+            self.sim.at(arrival, self._deliver, packet)
+
+    def send_train(self, packets):
+        """Entry point for a segment train (TSO/GSO-style burst).
+
+        Admission control -- faults, random loss, queue occupancy,
+        serialization spacing -- runs per packet with the exact
+        arithmetic (and RNG draw order) of ``len(packets)`` consecutive
+        :meth:`send` calls, but all surviving deliveries are enqueued
+        behind a single simulator train event (see
+        :meth:`~repro.net.simulator.Simulator.at_train`), which the
+        event loop peels through without per-packet heap traffic.
+        """
+        if len(packets) == 1:
+            self.send(packets[0])
+            return
+        entries = []
+        try:
+            for packet in packets:
+                arrival = self._admit(packet)
+                if arrival is not None:
+                    entries.append((arrival, packet))
+        finally:
+            if entries:
+                self.sim.at_train(entries, self._deliver)
+
+    def _admit(self, packet):
+        """Run send-side checks; returns the delivery time, or None if
+        the packet died on admission (already booked as a drop)."""
         self._observe("enqueue", packet)
         if not self.up:
             self._drop(packet, "down")
-            return
+            return None
         size = packet.wire_size()
         if size > self.mtu + 40:
             # Allow jumbo IP headroom; transports must respect the MTU.
@@ -148,22 +179,21 @@ class Link:
                     continue
                 if verdict is _faults.DROP:
                     self._drop(packet, fault.kind)
-                    return
+                    return None
                 fault_delay += verdict
             size = packet.wire_size()  # corruption may have resized it
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
             self._drop(packet, "loss")
-            return
+            return None
         if self.rate_bps is None:
-            self.sim.schedule(self.delay + fault_delay + self._jitter_sample(),
-                              self._deliver, packet)
-            return
+            return (self.sim.now + self.delay + fault_delay
+                    + self._jitter_sample())
         now = self.sim.now
         backlog = max(self._busy_until - now, 0.0)
         queued = backlog * self.rate_bps / 8.0
         if self.queue_bytes is not None and queued + size > self.queue_bytes:
             self._drop(packet, "queue")
-            return
+            return None
         serialization = size * 8.0 / self.rate_bps
         self._busy_until = max(self._busy_until, now) + serialization
         arrival = (self._busy_until + self.delay + fault_delay
@@ -173,7 +203,7 @@ class Link:
         # tick before the previous packet).
         arrival = max(arrival, self._last_arrival)
         self._last_arrival = arrival
-        self.sim.at(arrival, self._deliver, packet)
+        return arrival
 
     def _jitter_sample(self):
         if not self.jitter:

@@ -6,9 +6,6 @@ the transport codecs, so middleboxes can parse and mutate them exactly
 as on-path equipment would.
 """
 
-from repro.net.address import ip_header_size
-
-
 PROTO_TCP = "tcp"
 PROTO_UDP = "udp"
 
@@ -41,7 +38,10 @@ class Packet:
 
     def wire_size(self):
         """Total bytes on the wire: IP header + transport PDU."""
-        return ip_header_size(self.src.family) + self.payload.wire_size()
+        # Inlined ip_header_size(): this runs a few times per simulated
+        # packet (admission, delivery stats, observability).
+        return (20 if self.src.family == 4 else 40) + \
+            self.payload.wire_size()
 
     @property
     def family(self):

@@ -12,6 +12,15 @@ dead timers; the simulator therefore counts cancellations and compacts
 the heap (filter + heapify) once cancelled entries dominate.
 Compaction cannot change firing order -- the heap order is total over
 ``(time, seq)`` -- so traces are bit-identical with or without it.
+
+Packet trains (:meth:`Simulator.at_train`) batch a sequence of
+already-ordered deliveries behind a single heap entry.  Each delivery
+still fires at its own timestamp with its own sequence number -- the
+numbers it would have drawn had it been scheduled individually -- so
+firing order is bit-identical to per-packet scheduling.  The win is
+*peeling*: after one delivery fires, the next one in the train runs
+without a heap push/pop whenever no other queued event sorts before
+it, which under bulk transfer is nearly always.
 """
 
 import heapq
@@ -54,6 +63,53 @@ class Event:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
+class TrainEvent:
+    """A batch of ordered deliveries behind one heap entry.
+
+    ``entries`` is a list of ``(time, seq, payload)`` with
+    non-decreasing ``(time, seq)``; ``index`` points at the next entry
+    to fire.  ``time``/``seq`` mirror the head entry so the event sorts
+    in the heap exactly where the head would have sorted on its own.
+    """
+
+    __slots__ = ("time", "seq", "entries", "index", "fn", "cancelled",
+                 "_sim", "_in_queue")
+
+    def __init__(self, entries, fn, sim):
+        self.entries = entries
+        self.index = 0
+        self.fn = fn
+        self.cancelled = False
+        self._sim = sim
+        self._in_queue = False
+        self.time, self.seq = entries[0][0], entries[0][1]
+
+    def cancel(self):
+        """Drop every not-yet-fired delivery.  Idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        sim = self._sim
+        if sim is None:
+            return
+        remaining = len(self.entries) - self.index
+        if self._in_queue:
+            # The head occupies a queue slot; the rest were counted in
+            # the simulator's train-pending tally.
+            sim._train_pending -= remaining - 1
+            sim._note_cancelled()
+        else:
+            # Mid-execution cancel (a delivery callback cancelled us):
+            # every unfired entry is still in the pending tally.
+            sim._train_pending -= remaining
+
+    def remaining(self):
+        return len(self.entries) - self.index
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
 class Simulator:
     """Single-threaded discrete-event loop with deterministic ordering.
 
@@ -78,6 +134,13 @@ class Simulator:
         self._cancelled = 0
         #: number of heap compactions performed (perf observability).
         self.compactions = 0
+        #: deliveries queued inside train events beyond each train's
+        #: head (keeps :attr:`pending_events` truthful and O(1)).
+        self._train_pending = 0
+        #: train deliveries that fired without a heap push/pop.
+        self.train_peels = 0
+        #: train events pushed (each covers >= 1 deliveries).
+        self.trains_scheduled = 0
         #: the simulation-wide observability bus (see :mod:`repro.obs`);
         #: emission is a near-no-op until something subscribes.
         self.bus = EventBus(self)
@@ -96,6 +159,45 @@ class Simulator:
             )
         event = Event(time, next(self._seq), fn, args, self)
         heapq.heappush(self._queue, event)
+        return event
+
+    def at_train(self, entries, fn):
+        """Schedule ``fn(payload)`` at ``time`` for each ``(time,
+        payload)`` entry, batched behind as few heap entries as
+        possible.
+
+        Every entry draws its own sequence number -- the same numbers
+        individual :meth:`at` calls would have drawn -- so firing order
+        is bit-identical to scheduling each entry separately.  Entries
+        whose times run backwards split the train (each pushed run must
+        be internally ordered); the heap restores global order.
+
+        Returns the :class:`TrainEvent` list (usually length 1).
+        """
+        events = []
+        run = []
+        last = None
+        for time, payload in entries:
+            if time < self.now:
+                raise ValueError(
+                    "cannot schedule into the past: time=%r < now=%r"
+                    % (time, self.now)
+                )
+            if last is not None and time < last:
+                events.append(self._push_train(run, fn))
+                run = []
+            run.append((time, next(self._seq), payload))
+            last = time
+        if run:
+            events.append(self._push_train(run, fn))
+        return events
+
+    def _push_train(self, stamped, fn):
+        event = TrainEvent(stamped, fn, self)
+        event._in_queue = True
+        heapq.heappush(self._queue, event)
+        self._train_pending += len(stamped) - 1
+        self.trains_scheduled += 1
         return event
 
     def _note_cancelled(self):
@@ -146,6 +248,14 @@ class Simulator:
                     self.now = until
                     break
                 heapq.heappop(self._queue)
+                if type(event) is TrainEvent:
+                    event._in_queue = False
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    fired = self._fire_train(event, until, max_events,
+                                             fired)
+                    continue
                 # Detach so a cancel() after firing (or after this pop)
                 # cannot skew the in-queue cancelled count.
                 event._sim = None
@@ -163,6 +273,47 @@ class Simulator:
         finally:
             self._running = False
         return fired
+
+    def _fire_train(self, event, until, max_events, fired):
+        """Fire train deliveries, peeling consecutive ones inline.
+
+        After each delivery, the next entry runs without touching the
+        heap iff nothing queued sorts before it -- exactly the entry
+        the per-packet scheduler would pop next.  Otherwise the train
+        re-enters the heap keyed by its next ``(time, seq)``.
+        """
+        entries = event.entries
+        n = len(entries)
+        queue = self._queue
+        while True:
+            time, _seq, payload = entries[event.index]
+            self.now = time
+            event.index += 1
+            event.fn(payload)
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise RuntimeError(
+                    "simulation exceeded %d events" % max_events)
+            if event.index >= n:
+                event._sim = None
+                return fired
+            if event.cancelled:
+                # cancel() already settled the pending tally.
+                return fired
+            next_time = entries[event.index][0]
+            next_seq = entries[event.index][1]
+            park = until is not None and next_time > until
+            if not park and queue:
+                head = queue[0]
+                park = (head.time, head.seq) < (next_time, next_seq)
+            if park:
+                event.time, event.seq = next_time, next_seq
+                event._in_queue = True
+                self._train_pending -= 1
+                heapq.heappush(queue, event)
+                return fired
+            self._train_pending -= 1
+            self.train_peels += 1
 
     def run_until(self, predicate, check_interval=0.01, timeout=600.0):
         """Run until ``predicate()`` is true or ``timeout`` sim-seconds pass.
@@ -190,5 +341,6 @@ class Simulator:
 
     @property
     def pending_events(self):
-        """Number of not-yet-cancelled events in the queue (O(1))."""
-        return len(self._queue) - self._cancelled
+        """Number of not-yet-cancelled events in the queue, counting
+        every delivery still inside a train (O(1))."""
+        return len(self._queue) - self._cancelled + self._train_pending

@@ -19,13 +19,20 @@ from repro.perf.costmodel import (
     TcplsModel,
     solve_throughput_gbps,
 )
+from repro.perf.sweep import SweepPoint, run_sweep, sweep_to_json
+from repro.perf.traincost import TrainCostAccountant, attach_train_accounting
 
 __all__ = [
     "CpuProfile",
     "QuicModel",
     "QuicSenderModel",
+    "SweepPoint",
     "TcplsModel",
     "TcplsVariant",
     "TlsTcpModel",
+    "TrainCostAccountant",
+    "attach_train_accounting",
+    "run_sweep",
     "solve_throughput_gbps",
+    "sweep_to_json",
 ]

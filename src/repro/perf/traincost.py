@@ -1,0 +1,117 @@
+"""Mechanistic CPU accounting for batched I/O (``perf`` bus events).
+
+The batching layers added for segmentation offload each announce their
+work on the observability bus: the TCP output path emits
+``segment_train`` once per coalesced burst, and the session pump emits
+``pump_batch`` once per multi-record seal pass.  This module turns
+those announcements into modeled CPU time using the same
+:class:`~repro.perf.costmodel.CpuProfile` primitives the Fig. 7
+analytic models use, charging *per-train* rather than per-segment
+costs:
+
+- one syscall per train (the batched ``sendmsg``/TSO handoff),
+- one DMA-descriptor cost per wire packet inside it,
+- memcpy per byte,
+- and, for pump batches, AEAD per byte plus one AEAD setup per record.
+
+The resulting totals make the benefit of coalescing visible as a
+first-class metric: dividing a transfer's bytes by the accounted CPU
+time gives the modeled single-core throughput of the batched stack,
+comparable against the analytic Fig. 7 numbers.
+"""
+
+from repro.perf.costmodel import CpuProfile
+
+
+class TrainCostAccountant:
+    """Bus sink that integrates modeled CPU nanoseconds per train.
+
+    Attach with :func:`attach_train_accounting` (or manually via
+    ``sim.bus.subscribe``).  Only ``perf`` events are inspected;
+    unknown event names are ignored so the accountant can share the
+    category with heap-compaction and crypto-total events.
+    """
+
+    def __init__(self, profile=None):
+        self.profile = profile if profile is not None else CpuProfile()
+        #: nanoseconds charged to the TCP transmit path (trains).
+        self.tx_ns = 0.0
+        #: nanoseconds charged to record sealing (pump batches).
+        self.seal_ns = 0.0
+        self.trains = 0
+        self.segments = 0
+        self.train_bytes = 0
+        self.batches = 0
+        self.records = 0
+        self.record_bytes = 0
+
+    # -- bus interface ---------------------------------------------------
+
+    def on_event(self, event):
+        if event.category != "perf":
+            return
+        if event.name == "segment_train":
+            self._on_train(event.data)
+        elif event.name == "pump_batch":
+            self._on_batch(event.data)
+
+    # -- charging --------------------------------------------------------
+
+    def _on_train(self, data):
+        p = self.profile
+        segments = data["segments"]
+        nbytes = data["bytes"]
+        self.trains += 1
+        self.segments += segments
+        self.train_bytes += nbytes
+        self.tx_ns += (p.syscall_ns
+                       + segments * p.tcp_tx_ns_per_wire_packet
+                       + nbytes * p.memcpy_ns_per_byte)
+
+    def _on_batch(self, data):
+        p = self.profile
+        records = data["records"]
+        nbytes = data["bytes"]
+        self.batches += 1
+        self.records += records
+        self.record_bytes += nbytes
+        self.seal_ns += (records * p.aead_ns_per_op
+                         + nbytes * p.aead_seal_ns_per_byte)
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def total_ns(self):
+        return self.tx_ns + self.seal_ns
+
+    def modeled_goodput_gbps(self):
+        """Modeled single-core throughput over the accounted work."""
+        if self.total_ns <= 0:
+            return 0.0
+        return (self.train_bytes * 8.0) / self.total_ns
+
+    def summary(self):
+        """Plain-dict snapshot (stable keys, JSON-friendly)."""
+        return {
+            "trains": self.trains,
+            "segments": self.segments,
+            "train_bytes": self.train_bytes,
+            "batches": self.batches,
+            "records": self.records,
+            "record_bytes": self.record_bytes,
+            "tx_ns": self.tx_ns,
+            "seal_ns": self.seal_ns,
+            "total_ns": self.total_ns,
+        }
+
+
+def attach_train_accounting(sim, profile=None):
+    """Subscribe a :class:`TrainCostAccountant` to ``sim``'s bus.
+
+    Returns the accountant; read its counters (or :meth:`summary`)
+    after the run.  Subscribing enables ``perf``-category emission, so
+    attach it only when the accounting is wanted.
+    """
+    accountant = TrainCostAccountant(profile)
+    sim.bus.subscribe(accountant, categories=("perf",))
+    return accountant

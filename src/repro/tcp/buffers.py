@@ -33,6 +33,11 @@ class SendBuffer:
         self._ends = []        # absolute end seq of each chunk (sorted)
         self._head = 0         # index of first chunk with live bytes
         self._end_seq = base_seq
+        # Peek cursor: index of the chunk the last peek landed in.  The
+        # train builder walks the buffer in MSS steps, so the next peek
+        # almost always hits the same chunk or its successor -- O(1)
+        # instead of a bisect per segment.
+        self._peek_index = 0
 
     def __len__(self):
         return self._end_seq - self.base_seq
@@ -79,7 +84,18 @@ class SendBuffer:
         end = min(seq + length, self._end_seq)
         if seq >= end:
             return b""
-        i = bisect_right(self._ends, seq, self._head)
+        # Cursor fast path: sequential peeks hit the cached chunk or
+        # the one after it; anything else falls back to the bisect.
+        ends = self._ends
+        head = self._head
+        i = self._peek_index
+        if not (head <= i < len(ends)
+                and (ends[i - 1] if i > head else self.base_seq) <= seq
+                < ends[i]):
+            i += 1
+            if not (head <= i < len(ends) and ends[i - 1] <= seq < ends[i]):
+                i = bisect_right(ends, seq, head)
+        self._peek_index = i
         chunk = self._chunks[i]
         offset = seq - (self._ends[i] - len(chunk))
         if end <= self._ends[i]:
@@ -110,10 +126,12 @@ class SendBuffer:
             self._chunks.clear()
             self._ends.clear()
             self._head = 0
+            self._peek_index = 0
         elif head > 32 and head * 2 > n:
             self._chunks = self._chunks[head:]
             self._ends = ends[head:]
             self._head = 0
+            self._peek_index = max(self._peek_index - head, 0)
         return freed
 
 

@@ -133,6 +133,14 @@ class TcpConnection:
         self.retransmissions = 0
         self.established_at = None
 
+        # TSO/GSO-style segmentation offload: data and retransmit
+        # bursts leave as segment *trains* (one routing pass, one
+        # link-admission batch, one heap event downstream).  ``_train``
+        # is the collection buffer while a burst is being built.
+        self._train = None
+        self.trains_sent = 0
+        self.train_segments_sent = 0
+
         # Application callbacks.
         self.on_established = None
         self.on_data = None
@@ -394,36 +402,63 @@ class TcpConnection:
         if self.state == SYN_RCVD and not self._tfo_accepted:
             return  # wait for the handshake ACK (no TFO validation)
         sent_any = self._retransmit_lost()
-        while True:
+        # New data leaves as one segment train (TSO/GSO-style offload):
+        # the header template -- ports, ACK, advertised window -- is
+        # built once for the whole burst, congestion/flow bookkeeping
+        # runs on exact local ints, and the burst goes out through a
+        # single transmit_train() call.  ``window`` is constant across
+        # the burst (no ACK can arrive between synchronous sends), and
+        # ``in_flight`` grows by exactly the payload length per segment,
+        # so per-iteration arithmetic matches the unbatched loop
+        # bit-for-bit.
+        available = self.snd_buf.end_seq - self.snd_nxt
+        if available > 0:
             in_flight = self._pipe()
             window = self._send_window()
-            available = self.snd_buf.end_seq - self.snd_nxt
-            if available <= 0:
-                break
-            room = window - in_flight
-            if room <= 0:
-                break
-            size = int(min(self.mss, available, room))
-            if size <= 0:
-                break
-            # Silly-window avoidance: a fractionally-growing cwnd must
-            # not clock out runt segments mid-stream; wait until a full
-            # MSS of window opens (always flush the stream tail).
-            if size < self.mss and size < available and in_flight > 0:
-                break
-            payload = self.snd_buf.peek(self.snd_nxt, size)
-            self._send_segment(
-                flags=FLAGS_ACK,
-                seq=self.snd_nxt,
-                ack=self._ack_value(),
-                payload=payload,
-            )
-            if self._rtt_seq is None:
-                self._rtt_seq = self.snd_nxt + len(payload)
-                self._rtt_time = self.sim.now
-            self.snd_nxt += len(payload)
-            self.bytes_sent += len(payload)
-            sent_any = True
+        if available > 0 and window > in_flight:
+            mss = self.mss
+            ack = self._ack_value()
+            adv_window = (self.rcv_buf.window() if self.rcv_buf is not None
+                          else 1 << 20)
+            snd_nxt = self.snd_nxt
+            peek = self.snd_buf.peek
+            data_segment = Segment.data_segment
+            src_port, dst_port = self.local.port, self.remote.port
+            src_addr, dst_addr = self.local.addr, self.remote.addr
+            train = self._train = []
+            try:
+                while available > 0:
+                    room = window - in_flight
+                    if room <= 0:
+                        break
+                    size = int(min(mss, available, room))
+                    if size <= 0:
+                        break
+                    # Silly-window avoidance: a fractionally-growing
+                    # cwnd must not clock out runt segments mid-stream;
+                    # wait until a full MSS of window opens (always
+                    # flush the stream tail).
+                    if size < mss and size < available and in_flight > 0:
+                        break
+                    payload = peek(snd_nxt, size)
+                    segment = data_segment(src_port, dst_port, snd_nxt,
+                                           ack, FLAGS_ACK, adv_window,
+                                           payload)
+                    train.append(Packet(src_addr, dst_addr, "tcp", segment))
+                    length = len(payload)
+                    if self._rtt_seq is None:
+                        self._rtt_seq = snd_nxt + length
+                        self._rtt_time = self.sim.now
+                    snd_nxt += length
+                    in_flight += length
+                    available -= length
+                if train:
+                    self.segments_sent += len(train)
+                    self.bytes_sent += snd_nxt - self.snd_nxt
+                    self.snd_nxt = snd_nxt
+                    sent_any = True
+            finally:
+                self._flush_train("data")
         if (not sent_any and self.peer_window == 0
                 and self.snd_buf.end_seq > self.snd_nxt):
             self._arm_persist()
@@ -461,7 +496,39 @@ class TcpConnection:
         )
         packet = Packet(self.local.addr, self.remote.addr, "tcp", segment)
         self.segments_sent += 1
-        self.stack.transmit(packet)
+        if self._train is not None:
+            self._train.append(packet)
+        else:
+            self.stack.transmit(packet)
+
+    def _flush_train(self, kind):
+        """Hand the collected burst to the stack and reset collection.
+
+        A single packet degenerates to a plain ``transmit`` (no train
+        bookkeeping downstream); larger bursts go out through one
+        ``transmit_train`` call: one routing pass, one link-admission
+        batch, one simulator heap event.  Admission still runs per
+        packet in append order, so drop/RNG/serialization behaviour is
+        bit-identical to individual sends.
+        """
+        train, self._train = self._train, None
+        n = len(train)
+        if n == 0:
+            return
+        if n == 1:
+            self.stack.transmit(train[0])
+        else:
+            self.stack.transmit_train(train)
+            self.trains_sent += 1
+            self.train_segments_sent += n
+            bus = self.sim.bus
+            if bus.wants("perf"):
+                bus.emit("perf", "segment_train", {
+                    "conn": self.conn_id,
+                    "segments": n,
+                    "bytes": sum(p.wire_size() for p in train),
+                    "kind": kind,
+                })
 
     def _send_ack(self):
         if self.state in (CLOSED,):
@@ -517,31 +584,43 @@ class TcpConnection:
 
         Returns True if anything was (re)sent.
         """
+        if not self._lost:
+            # Common case (no loss episode in progress): skip the window
+            # math and train setup entirely.
+            return False
         sent = False
-        while self._pipe() < self._send_window():
-            hole = self._lost.first_range_at_or_above(self.snd_una)
-            if hole is None:
-                break
-            seq, end = hole
-            if self._fin_sent and self._fin_seq is not None and \
-                    seq >= self._fin_seq:
-                self._lost.subtract(seq, end)
-                self._send_segment(flags=FLAGS_FIN_ACK, seq=self._fin_seq,
-                                   ack=self._ack_value())
+        # Retransmissions form their own train (never merged with new
+        # data: a retransmit boundary always splits bursts), flushed
+        # before the RTO re-arm so simulator bookkeeping happens in the
+        # same order as per-segment sends.
+        self._train = []
+        try:
+            while self._pipe() < self._send_window():
+                hole = self._lost.first_range_at_or_above(self.snd_una)
+                if hole is None:
+                    break
+                seq, end = hole
+                if self._fin_sent and self._fin_seq is not None and \
+                        seq >= self._fin_seq:
+                    self._lost.subtract(seq, end)
+                    self._send_segment(flags=FLAGS_FIN_ACK, seq=self._fin_seq,
+                                       ack=self._ack_value())
+                    self.retransmissions += 1
+                    sent = True
+                    continue
+                end = min(end, seq + self.mss, self.snd_buf.end_seq)
+                if end <= seq:
+                    self._lost.subtract(seq, hole[1])
+                    continue
+                payload = self.snd_buf.peek(seq, end - seq)
+                self._send_segment(flags=FLAGS_ACK, seq=seq,
+                                   ack=self._ack_value(), payload=payload)
+                self._lost.subtract(seq, end)      # back in flight
+                self._rexmitted.add(seq, end)
                 self.retransmissions += 1
                 sent = True
-                continue
-            end = min(end, seq + self.mss, self.snd_buf.end_seq)
-            if end <= seq:
-                self._lost.subtract(seq, hole[1])
-                continue
-            payload = self.snd_buf.peek(seq, end - seq)
-            self._send_segment(flags=FLAGS_ACK, seq=seq, ack=self._ack_value(),
-                               payload=payload)
-            self._lost.subtract(seq, end)      # back in flight
-            self._rexmitted.add(seq, end)
-            self.retransmissions += 1
-            sent = True
+        finally:
+            self._flush_train("rexmit")
         if sent:
             self._arm_rto()
         return sent

@@ -13,6 +13,8 @@ class RangeSet:
 
     def __init__(self, ranges=()):
         self._ranges = []
+        #: cached coverage (see :attr:`total`); ``None`` = recompute.
+        self._total = 0
         for start, end in ranges:
             self.add(start, end)
 
@@ -35,11 +37,20 @@ class RangeSet:
 
     def clear(self):
         self._ranges = []
+        self._total = 0
 
     @property
     def total(self):
-        """Total integers covered."""
-        return sum(e - s for s, e in self._ranges)
+        """Total integers covered.
+
+        Cached between mutations: the TCP pipe estimator reads the
+        sacked/lost totals on every send opportunity, which is far more
+        often than the scoreboard changes.
+        """
+        t = self._total
+        if t is None:
+            t = self._total = sum(e - s for s, e in self._ranges)
+        return t
 
     @property
     def min(self):
@@ -53,6 +64,7 @@ class RangeSet:
         """Insert [start, end), merging with neighbours."""
         if end <= start:
             return
+        self._total = None
         i = bisect.bisect_left(self._ranges, [start, end])
         # Merge with the predecessor if it touches.
         if i > 0 and self._ranges[i - 1][1] >= start:
@@ -70,6 +82,7 @@ class RangeSet:
         """Remove [start, end) from the set."""
         if end <= start or not self._ranges:
             return
+        self._total = None
         out = []
         for s, e in self._ranges:
             if e <= start or s >= end:

@@ -46,6 +46,27 @@ class Segment:
         self.payload = (payload if type(payload) in (bytes, memoryview)
                         else bytes(payload))
 
+    @classmethod
+    def data_segment(cls, src_port, dst_port, seq, ack, flags, window,
+                     payload):
+        """Fast path for the segmentation-offload train builder.
+
+        ``flags`` must be one of the prebuilt frozensets from
+        :mod:`repro.tcp.connection`; validation and option handling are
+        skipped because a data train shares one header template and
+        only ``seq``/``payload`` vary per segment.
+        """
+        seg = cls.__new__(cls)
+        seg.src_port = src_port
+        seg.dst_port = dst_port
+        seg.seq = seq
+        seg.ack = ack
+        seg.flags = flags
+        seg.window = window
+        seg.options = ()
+        seg.payload = payload
+        return seg
+
     def replace(self, **kwargs):
         """Copy with some fields replaced (middlebox-safe mutation)."""
         fields = {name: getattr(self, name) for name in self.__slots__}
@@ -80,7 +101,11 @@ class Segment:
         return TCP_HEADER_BYTES + self.options_size()
 
     def wire_size(self):
-        return self.header_size() + len(self.payload)
+        # Fast path for the (overwhelmingly common) no-options segment:
+        # skip the encode_options round-trip entirely.
+        if self.options:
+            return self.header_size() + len(self.payload)
+        return TCP_HEADER_BYTES + len(self.payload)
 
     def seq_space(self):
         """Sequence numbers consumed: payload plus SYN/FIN."""

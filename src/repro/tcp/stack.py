@@ -105,6 +105,10 @@ class TcpStack:
     def transmit(self, packet):
         return self.host.send(packet)
 
+    def transmit_train(self, packets):
+        """Hand a TSO/GSO segment train to the host in one call."""
+        return self.host.send_train(packets)
+
     def _allocate_port(self):
         """Pick a free ephemeral port, wrapping within the IANA dynamic
         range and skipping ports still used by live connections."""

@@ -167,3 +167,104 @@ def test_compaction_emits_perf_event():
     assert compactions
     data = compactions[-1].data
     assert data["before"] > data["after"]
+
+
+# -- train events ---------------------------------------------------------
+
+
+def test_at_train_fires_in_per_event_order():
+    """A train must fire exactly like the equivalent individual at()
+    calls, including interleaving with independently scheduled events
+    (seq draws decide ties at equal times)."""
+
+    def run(trains):
+        sim = Simulator()
+        fired = []
+        sim.at(0.05, fired.append, "solo-early")
+        entries = [(0.02 * i, "train-%d" % i) for i in range(1, 6)]
+        if trains:
+            sim.at_train(entries, fired.append)
+        else:
+            for t, payload in entries:
+                sim.at(t, fired.append, payload)
+        sim.at(0.05, fired.append, "solo-late")
+        sim.run()
+        return fired
+
+    assert run(trains=True) == run(trains=False)
+    # And the tie at t=0.05 lands between the two solo events.
+    assert run(trains=True).index("train-2") < \
+        run(trains=True).index("solo-late")
+
+
+def test_at_train_splits_on_backwards_times():
+    """Non-monotonic entry times split the train; the heap restores
+    global firing order across the splits."""
+    sim = Simulator()
+    fired = []
+    events = sim.at_train(
+        [(0.3, "a"), (0.4, "b"), (0.1, "c"), (0.2, "d")], fired.append)
+    assert len(events) == 2
+    sim.run()
+    assert fired == ["c", "d", "a", "b"]
+
+
+def test_train_cancel_drops_unfired_deliveries():
+    sim = Simulator()
+    fired = []
+    (event,) = sim.at_train(
+        [(0.1 * i, i) for i in range(1, 6)], fired.append)
+    sim.at(0.25, event.cancel)
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.pending_events == 0
+
+
+def test_train_cancel_from_inside_a_delivery():
+    """A delivery callback cancelling its own train stops the peel
+    immediately and settles the pending tally."""
+    sim = Simulator()
+    fired = []
+    holder = {}
+
+    def deliver(payload):
+        fired.append(payload)
+        if payload == 2:
+            holder["event"].cancel()
+
+    (holder["event"],) = sim.at_train(
+        [(0.1 * i, i) for i in range(1, 6)], deliver)
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.pending_events == 0
+
+
+def test_pending_events_counts_train_entries():
+    sim = Simulator()
+    sim.at_train([(0.1 * i, i) for i in range(1, 9)], lambda _p: None)
+    sim.at(1.0, lambda: None)
+    # 8 deliveries inside one heap entry, plus the solo event.
+    assert sim.pending_events == 9
+    assert sim.trains_scheduled == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_uncontended_train_peels_without_heap_traffic():
+    sim = Simulator()
+    fired = []
+    sim.at_train([(0.1 * i, i) for i in range(1, 9)], fired.append)
+    sim.run()
+    assert fired == list(range(1, 9))
+    # Head pops once; the 7 followers peel inline.
+    assert sim.train_peels == 7
+
+
+def test_contended_train_reenters_heap_for_interleaved_event():
+    sim = Simulator()
+    fired = []
+    sim.at_train([(0.1, "t1"), (0.3, "t2")], fired.append)
+    sim.at(0.2, fired.append, "solo")
+    sim.run()
+    assert fired == ["t1", "solo", "t2"]
+    assert sim.train_peels == 0  # the follower had to re-enter the heap

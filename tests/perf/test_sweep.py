@@ -1,0 +1,90 @@
+"""Deterministic parallel sweep execution (repro.perf.sweep)."""
+
+import json
+
+import pytest
+
+from repro.perf import SweepPoint, run_sweep, sweep_to_json
+
+
+# Worker functions must be importable top-level callables (spawned
+# workers pickle them by reference).
+
+def square_point(x):
+    return {"x": x, "square": x * x}
+
+
+def failing_point(message="boom"):
+    raise RuntimeError(message)
+
+
+def connection_id_probe():
+    """Exposes interpreter-state leaks: TcpConnection numbers itself
+    with a class counter, so a reused worker would return different
+    ids for the same point."""
+    from repro.net import Simulator, build_multipath
+    from repro.tcp import TcpStack
+
+    sim = Simulator(seed=1)
+    topo = build_multipath(sim, n_paths=1)
+    stack = TcpStack(sim, topo.client)
+    from repro.net.address import Endpoint
+    conn = stack.connect(topo.path(0).client_addr,
+                         Endpoint(topo.path(0).server_addr, 443))
+    return {"conn_id": conn.conn_id, "iss": conn.iss}
+
+
+POINTS = [SweepPoint("sq-%d" % x, square_point, {"x": x})
+          for x in range(6)]
+
+
+def test_results_come_back_in_input_order():
+    results = run_sweep(POINTS, jobs=1)
+    assert [r["name"] for r in results] == [p.name for p in POINTS]
+    assert [r["metrics"]["square"] for r in results] == [
+        x * x for x in range(6)]
+
+
+def test_parallel_equals_serial():
+    assert run_sweep(POINTS, jobs=2) == run_sweep(POINTS, jobs=1)
+
+
+def test_parallel_json_is_byte_identical():
+    serial = sweep_to_json(run_sweep(POINTS, jobs=1))
+    parallel = sweep_to_json(run_sweep(POINTS, jobs=3))
+    assert serial == parallel
+    assert serial.endswith("\n")
+    json.loads(serial)  # well-formed
+
+
+def test_fresh_interpreter_per_point():
+    """Two identical simulation points must return identical ids even
+    in the same worker slot -- maxtasksperchild=1 guarantees it."""
+    points = [SweepPoint("probe-a", connection_id_probe),
+              SweepPoint("probe-b", connection_id_probe)]
+    a, b = run_sweep(points, jobs=1)
+    assert a["metrics"] == b["metrics"]
+
+
+def test_failing_point_is_tagged_not_fatal():
+    points = [SweepPoint("ok", square_point, {"x": 3}),
+              SweepPoint("bad", failing_point, {"message": "kaput"}),
+              SweepPoint("ok2", square_point, {"x": 4})]
+    results = run_sweep(points, jobs=2)
+    assert results[0]["metrics"]["square"] == 9
+    assert results[1] == {"name": "bad", "error": "RuntimeError: kaput"}
+    assert results[2]["metrics"]["square"] == 16
+
+
+def test_unpicklable_point_rejected_up_front():
+    with pytest.raises(ValueError, match="not picklable"):
+        run_sweep([SweepPoint("lam", lambda: {})], jobs=1)
+
+
+def test_bad_jobs_value_rejected():
+    with pytest.raises(ValueError):
+        run_sweep(POINTS, jobs=0)
+
+
+def test_empty_sweep():
+    assert run_sweep([], jobs=4) == []

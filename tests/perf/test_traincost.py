@@ -1,0 +1,99 @@
+"""TrainCostAccountant: per-train CPU accounting off the perf bus."""
+
+import pytest
+
+from repro.net import Simulator
+from repro.net.address import Endpoint
+from repro.perf import TrainCostAccountant, attach_train_accounting
+from repro.perf.costmodel import CpuProfile
+
+from tests.helpers import bulk_receiver, bulk_sender, make_net
+
+
+class FakeEvent:
+    def __init__(self, category, name, data):
+        self.category = category
+        self.name = name
+        self.data = data
+
+
+def test_train_event_charges_per_train_costs():
+    profile = CpuProfile()
+    acct = TrainCostAccountant(profile)
+    acct.on_event(FakeEvent("perf", "segment_train",
+                            {"segments": 10, "bytes": 15000, "kind": "data"}))
+    expected = (profile.syscall_ns
+                + 10 * profile.tcp_tx_ns_per_wire_packet
+                + 15000 * profile.memcpy_ns_per_byte)
+    assert acct.tx_ns == pytest.approx(expected)
+    assert acct.seal_ns == 0.0
+    assert (acct.trains, acct.segments, acct.train_bytes) == (1, 10, 15000)
+
+
+def test_pump_batch_charges_per_record_costs():
+    profile = CpuProfile()
+    acct = TrainCostAccountant(profile)
+    acct.on_event(FakeEvent("perf", "pump_batch",
+                            {"records": 4, "bytes": 8000}))
+    expected = (4 * profile.aead_ns_per_op
+                + 8000 * profile.aead_seal_ns_per_byte)
+    assert acct.seal_ns == pytest.approx(expected)
+    assert acct.tx_ns == 0.0
+    assert acct.total_ns == acct.seal_ns
+
+
+def test_unrelated_events_are_ignored():
+    acct = TrainCostAccountant()
+    acct.on_event(FakeEvent("perf", "heap_compaction",
+                            {"before": 100, "after": 50}))
+    acct.on_event(FakeEvent("session", "segment_train",
+                            {"segments": 5, "bytes": 1000}))
+    assert acct.total_ns == 0.0
+    assert acct.trains == 0
+
+
+def test_batching_amortises_syscall_cost():
+    """The point of trains: N segments in one train must charge one
+    syscall where N singleton trains charge N."""
+    profile = CpuProfile()
+    batched = TrainCostAccountant(profile)
+    batched.on_event(FakeEvent("perf", "segment_train",
+                               {"segments": 16, "bytes": 16 * 1500}))
+    split = TrainCostAccountant(profile)
+    for _ in range(16):
+        split.on_event(FakeEvent("perf", "segment_train",
+                                 {"segments": 1, "bytes": 1500}))
+    saved = split.tx_ns - batched.tx_ns
+    assert saved == pytest.approx(15 * profile.syscall_ns)
+
+
+def test_attach_train_accounting_integrates_a_transfer():
+    """End to end: a bulk TCP transfer books trains into the attached
+    accountant and the summary matches the connection counters."""
+    sim, topo, cstack, sstack = make_net(n_paths=1)
+    acct = attach_train_accounting(sim)
+    on_accept, received = bulk_receiver()
+    sstack.listen(443, on_accept)
+    p = topo.path(0)
+    conn = cstack.connect(p.client_addr, Endpoint(p.server_addr, 443))
+    payload = b"\x42" * (512 * 1024)
+    bulk_sender(conn, payload)
+    sim.run_until(lambda: len(received) >= len(payload), timeout=30.0)
+    assert bytes(received) == payload
+    assert acct.trains == conn.trains_sent > 0
+    assert acct.segments == conn.train_segments_sent
+    assert acct.tx_ns > 0
+    summary = acct.summary()
+    assert summary["trains"] == acct.trains
+    assert summary["total_ns"] == pytest.approx(acct.tx_ns + acct.seal_ns)
+    assert acct.modeled_goodput_gbps() > 0
+
+
+def test_summary_is_json_friendly():
+    import json
+
+    acct = TrainCostAccountant()
+    acct.on_event(FakeEvent("perf", "segment_train",
+                            {"segments": 2, "bytes": 3000}))
+    doc = json.loads(json.dumps(acct.summary()))
+    assert doc["segments"] == 2
