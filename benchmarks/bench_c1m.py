@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""C1M benchmark: one engine, thousands of concurrent TCPLS sessions.
+
+Drives the :mod:`repro.perf.loadgen` churn script -- connect waves,
+request/response transfers, MPJOINs, a scripted path outage with
+failovers, close/reconnect churn -- against a
+:class:`~repro.core.drivers.multi.MultiSessionServer` and reports
+sessions/sec, p99 handshake and transfer latency, and bytes/s per
+core.
+
+Default shape is the acceptance run: 10k sessions concurrently alive
+inside ONE process.  ``--shards N`` instead fans the population out
+over N worker processes in the deterministic
+:class:`~repro.core.drivers.multi.ShardLayout` (listener per shard,
+one core each), merged through :func:`repro.perf.sweep.run_sweep` so
+the output is byte-identical for any ``--jobs`` value.
+
+The JSON envelope (``--json``) contains only simulator-time metrics --
+same seed, same bytes, every run.  Wall-clock timing goes to stderr
+and never into the file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_c1m.py --json benchmarks/BENCH_6.json
+    PYTHONPATH=src python benchmarks/bench_c1m.py --sessions 20000 --shards 4 --jobs 4
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.perf.loadgen import merge_shards, run_shard, shard_points
+from repro.perf.sweep import run_sweep
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=10000,
+                        help="total concurrent sessions (default 10000)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker-process shards (default 1: the "
+                             "single-process acceptance run)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers for --shards > 1")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=256 * 1024,
+                        help="per-session receive-memory budget (bytes)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the deterministic envelope here")
+    args = parser.parse_args(argv)
+
+    config = {
+        "sessions": args.sessions,
+        "shards": args.shards,
+        "seed": args.seed,
+        "budget_bytes": args.budget,
+    }
+    started = time.monotonic()
+    if args.shards == 1:
+        shard_results = [run_shard(sessions=args.sessions, seed=args.seed,
+                                   budget_bytes=args.budget)]
+    else:
+        points = shard_points(args.sessions, args.shards, seed=args.seed,
+                              budget_bytes=args.budget)
+        shard_results = []
+        for result in run_sweep(points, jobs=args.jobs):
+            if "error" in result:
+                print("c1m: shard %s failed: %s"
+                      % (result["name"], result["error"]),
+                      file=sys.stderr)
+                return 1
+            shard_results.append(result["metrics"])
+    wall = time.monotonic() - started
+
+    summary = merge_shards(shard_results)
+    envelope = {
+        "bench": "c1m",
+        "config": config,
+        "results": shard_results,
+        "summary": summary,
+    }
+    text = json.dumps(envelope, sort_keys=True, indent=2) + "\n"
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+    print("c1m: %d sessions / %d shard(s): peak %d concurrent, "
+          "%d transfers, %d failovers, %.1f sessions/s (sim), "
+          "%.0f bytes/s/core (sim), wall %.1fs"
+          % (args.sessions, args.shards,
+             summary["peak_concurrent_sessions"],
+             summary["transfers_completed"], summary["failovers"],
+             summary["sessions_per_sec"],
+             summary["bytes_per_core_per_s"], wall),
+          file=sys.stderr)
+    if summary["table_end"] or summary["sessions_end"]:
+        print("c1m: WARNING: %d table entries / %d sessions leaked"
+              % (summary["table_end"], summary["sessions_end"]),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,18 @@ def fig9_rotation_point(rotate_every=0.5, size=POINT_SIZE, n_paths=4):
     }
 
 
+def c1m_loadgen_point(sessions=400, failover_sessions=8):
+    """Scaled-down C1M churn run: hundreds of sessions through one
+    :class:`~repro.core.drivers.multi.MultiSessionServer`, with joins,
+    a mid-transfer path outage and close/reconnect churn.  The full
+    10k-session run lives in ``bench_c1m.py``; this point keeps the
+    multi-session path under the JOBS determinism gate."""
+    from repro.perf.loadgen import run_shard
+
+    return run_shard(sessions=sessions,
+                     failover_sessions=failover_sessions)
+
+
 def default_points():
     """The standard sweep, in canonical (merge) order."""
     from repro.perf import SweepPoint
@@ -124,4 +136,5 @@ def default_points():
         points.append(SweepPoint("fig8/mptcp/%s" % outage,
                                  fig8_mptcp_point, {"outage": outage}))
     points.append(SweepPoint("fig9/rotation", fig9_rotation_point))
+    points.append(SweepPoint("c1m/loadgen", c1m_loadgen_point))
     return points

@@ -8,6 +8,13 @@
   loopback or a testbed.
 """
 
+from repro.core.drivers.multi import (
+    ConnectionTable,
+    CookieCache,
+    MemoryBudget,
+    MultiSessionServer,
+    ShardLayout,
+)
 from repro.core.drivers.sim import SimClock, SimDriver
 from repro.core.drivers.sockets import (
     SocketClock,
@@ -16,6 +23,11 @@ from repro.core.drivers.sockets import (
 )
 
 __all__ = [
+    "ConnectionTable",
+    "CookieCache",
+    "MemoryBudget",
+    "MultiSessionServer",
+    "ShardLayout",
     "SimClock",
     "SimDriver",
     "SocketClock",

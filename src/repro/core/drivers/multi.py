@@ -1,0 +1,628 @@
+"""Multi-session serving: thousands of TCPLS sessions on one loop.
+
+The paper evaluates one session at a time; a production server (the
+ROADMAP's "millions of users") multiplexes many.  This module adds that
+layer on top of the sans-I/O engine without touching the per-session
+code:
+
+- :class:`ConnectionTable` -- fd -> (session, transport) registry
+  modeled on libconvert's ``_tcpls_lookup(sd)`` (SNIPPETS.md Secs. 2-3):
+  every accepted transport gets an entry at accept time (state
+  ``pending``), is re-pointed at its session when the handshake
+  resolves it (a fresh session or an MPJOIN attach), and is dropped on
+  teardown -- including transports that die *mid-handshake*, which the
+  stock :class:`~repro.core.engine.server.TcplsServerEngine` never
+  cleans up.
+- :class:`CookieCache` -- O(1) join-credential -> session map with a
+  per-session reverse index, so MPJOIN cookies/tokens resolve without
+  scanning all sessions and a retired session's outstanding
+  credentials are invalidated atomically (no resurrection by a late
+  join racing the teardown).
+- :class:`MemoryBudget` -- bounded per-session receive memory with
+  hysteresis.  When a session's buffered bytes
+  (:meth:`~repro.core.engine.session.TcplsEngine.buffered_rx_bytes`)
+  exceed the budget, its transports stop being read: kernel sockets
+  drop read interest (``pause_reading``), simulated connections simply
+  stop being drained -- either way the receive window closes and the
+  *peer* is throttled, while every other session keeps progressing.
+  Reads resume once the application drains below the low watermark.
+- :class:`ShardLayout` -- deterministic listener-per-shard port layout
+  plus a stable key -> shard hash for worker-process sharding.
+
+:class:`MultiSessionServer` composes these around a server engine on
+any driver (simulator or kernel sockets).
+"""
+
+import zlib
+
+from repro.core.engine.server import TcplsServerEngine
+from repro.core.stream import conn_id_from_cookie
+from repro.tls.extensions import decode_tcpls_join
+
+#: default per-session receive-memory budget (bytes)
+DEFAULT_BUDGET = 256 * 1024
+#: resume reads when buffered bytes drain below this fraction of budget
+DEFAULT_RESUME_FRACTION = 0.5
+
+STATE_PENDING = "pending"     # accepted, handshake in flight
+STATE_ATTACHED = "attached"   # wired to a session
+
+
+class TableEntry:
+    """One transport's slot in the connection table."""
+
+    __slots__ = ("fd", "transport", "conn", "session", "state", "paused")
+
+    def __init__(self, fd, transport):
+        self.fd = fd
+        self.transport = transport
+        self.conn = None          # engine ConnectionState once known
+        self.session = None       # session engine once attached
+        self.state = STATE_PENDING
+        self.paused = False
+
+    def __repr__(self):
+        return "TableEntry(fd=%d, %s)" % (self.fd, self.state)
+
+
+class ConnectionTable:
+    """fd -> (session, transport) registry (the ``_tcpls_lookup`` shape).
+
+    Keys are kernel fds when the transport has a real ``fileno()``;
+    simulated transports get synthetic negative fds so the same table
+    serves both drivers.  ``by_session`` indexes a session's fds for
+    O(degree) teardown and backpressure sweeps.
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self.by_session = {}      # session obs_id -> set of fds
+        self._synthetic_fd = 0
+        # Lifetime counters (the mux gauges and tests read these).
+        self.accepts = 0
+        self.attaches = 0
+        self.teardowns = 0
+        self.peak = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, fd):
+        return fd in self._entries
+
+    def _fd_for(self, transport):
+        fileno = getattr(transport, "fileno", None)
+        if fileno is not None:
+            fd = fileno()
+            if isinstance(fd, int) and fd >= 0:
+                return fd
+        self._synthetic_fd -= 1
+        return self._synthetic_fd
+
+    def add_pending(self, transport):
+        """Register a just-accepted transport; returns its entry."""
+        fd = getattr(transport, "_mux_fd", None)
+        if fd is None:
+            fd = self._fd_for(transport)
+            transport._mux_fd = fd
+        if fd in self._entries:
+            # Kernel fd reuse: the previous owner died without a
+            # callback (abort); its slot is stale by definition.
+            self.remove(fd)
+        entry = TableEntry(fd, transport)
+        self._entries[fd] = entry
+        self.accepts += 1
+        self.peak = max(self.peak, len(self._entries))
+        return entry
+
+    def attach(self, fd, session, conn):
+        """Handshake resolved the transport to a session (new session's
+        primary, or an MPJOIN attach to an existing one)."""
+        entry = self._entries.get(fd)
+        if entry is None:
+            # Teardown raced the handshake completion; nothing to wire.
+            return None
+        entry.session = session
+        entry.conn = conn
+        entry.state = STATE_ATTACHED
+        self.by_session.setdefault(session.obs_id, set()).add(fd)
+        self.attaches += 1
+        return entry
+
+    def lookup(self, fd):
+        """The ``_tcpls_lookup(sd)`` operation."""
+        return self._entries.get(fd)
+
+    def remove(self, fd):
+        """Drop one transport's entry (close, reset, retire)."""
+        entry = self._entries.pop(fd, None)
+        if entry is None:
+            return None
+        if entry.session is not None:
+            fds = self.by_session.get(entry.session.obs_id)
+            if fds is not None:
+                fds.discard(fd)
+                if not fds:
+                    del self.by_session[entry.session.obs_id]
+        self.teardowns += 1
+        return entry
+
+    def entries_for(self, session):
+        """All live entries attached to ``session``."""
+        fds = self.by_session.get(session.obs_id, ())
+        return [self._entries[fd] for fd in sorted(fds)
+                if fd in self._entries]
+
+    def sessions(self):
+        """Distinct sessions currently holding table entries."""
+        seen = {}
+        for entry in self._entries.values():
+            if entry.session is not None:
+                seen[entry.session.obs_id] = entry.session
+        return list(seen.values())
+
+
+class CookieCache:
+    """O(1) join-credential -> session map with per-session reverse
+    index, so MPJOIN and token joins never scan the session table and
+    a retiring session invalidates all its outstanding credentials."""
+
+    def __init__(self):
+        self._by_credential = {}
+        self._by_session = {}     # session obs_id -> set of credentials
+
+    def __len__(self):
+        return len(self._by_credential)
+
+    def register(self, session, credential):
+        previous = self._by_credential.get(credential)
+        if previous is not None and previous is not session:
+            # Credential reissued to another session: drop the stale
+            # reverse-index entry or it would outlive its owner.
+            creds = self._by_session.get(previous.obs_id)
+            if creds is not None:
+                creds.discard(credential)
+                if not creds:
+                    del self._by_session[previous.obs_id]
+        self._by_credential[credential] = session
+        self._by_session.setdefault(session.obs_id, set()).add(credential)
+
+    def pop(self, credential):
+        """Resolve and consume one credential (single use)."""
+        session = self._by_credential.pop(credential, None)
+        if session is not None:
+            creds = self._by_session.get(session.obs_id)
+            if creds is not None:
+                creds.discard(credential)
+                if not creds:
+                    del self._by_session[session.obs_id]
+        return session
+
+    def invalidate_session(self, session):
+        """Atomically revoke every outstanding credential of a retiring
+        session; returns how many were revoked."""
+        creds = self._by_session.pop(session.obs_id, None)
+        if not creds:
+            return 0
+        for credential in creds:
+            self._by_credential.pop(credential, None)
+        return len(creds)
+
+
+class MemoryBudget:
+    """Per-session receive-memory bound with pause/resume hysteresis."""
+
+    def __init__(self, limit=DEFAULT_BUDGET,
+                 resume_fraction=DEFAULT_RESUME_FRACTION):
+        self.limit = limit
+        self.low_watermark = int(limit * resume_fraction)
+
+    def over(self, session):
+        return session.buffered_rx_bytes() >= self.limit
+
+    def drained(self, session):
+        return session.buffered_rx_bytes() <= self.low_watermark
+
+
+class ShardLayout:
+    """Deterministic listener-per-shard layout for worker processes.
+
+    Shard ``i`` listens on ``base_port + i`` (distinct ports keep the
+    layout valid on drivers without ``SO_REUSEPORT``; kernel-socket
+    shards sharing one port set ``SocketDriver(reuse_port=True)`` and
+    use ``base_port`` for every shard).  ``shard_for_key`` hashes any
+    byte/str key (e.g. a client id) to its home shard with crc32 --
+    stable across processes and runs, unlike ``hash()``.
+    """
+
+    def __init__(self, n_shards, base_port=4443):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.base_port = base_port
+
+    def port_for(self, shard):
+        if not 0 <= shard < self.n_shards:
+            raise ValueError("shard %d outside layout of %d"
+                             % (shard, self.n_shards))
+        return self.base_port + shard
+
+    def ports(self):
+        return [self.base_port + i for i in range(self.n_shards)]
+
+    def shard_for_key(self, key):
+        if isinstance(key, str):
+            key = key.encode()
+        elif isinstance(key, int):
+            key = key.to_bytes(8, "big", signed=True)
+        return zlib.crc32(key) % self.n_shards
+
+
+class _MuxServerEngine(TcplsServerEngine):
+    """Server engine whose join credentials live in the mux's
+    :class:`CookieCache` (O(1) resolution + teardown invalidation)."""
+
+    def __init__(self, mux, driver, port, psk, **kwargs):
+        self._mux = mux
+        super().__init__(driver, port, psk, **kwargs)
+
+    # -- credential minting: mirror into the cache ----------------------
+
+    def _mint_cookies(self, session, count):
+        cookies = super()._mint_cookies(session, count)
+        for cookie in cookies:
+            self._mux.cache.register(session, cookie)
+        return cookies
+
+    def _mint_tokens(self, session, count):
+        tokens = super()._mint_tokens(session, count)
+        for token in tokens:
+            self._mux.cache.register(session, token)
+        return tokens
+
+    # -- join answering: resolve through the cache ----------------------
+
+    def _answer_join(self, join_ext, pending):
+        from repro.tls.endpoint import TlsError
+
+        session_id, cookie = decode_tcpls_join(join_ext.data)
+        session = self._mux.cache.pop(cookie)
+        if session is None or session.session_id != session_id \
+                or session_id not in self.sessions:
+            raise TlsError("TCPLS join: unknown session or stale cookie")
+        session.issued_cookies.discard(cookie)
+        pending["session"] = session
+        pending["is_join"] = True
+        pending["conn_id"] = conn_id_from_cookie(cookie)
+        from repro.tls.extensions import EXT_TCPLS_HELLO, Extension
+
+        return [Extension(EXT_TCPLS_HELLO, b"")]
+
+    def _answer_token_join(self, token_ext, pending):
+        from repro.tls.endpoint import TlsError
+
+        token = token_ext.data
+        session = self._mux.cache.pop(token)
+        self._tokens.pop(token, None)
+        if session is None or session.session_id not in self.sessions:
+            raise TlsError("TCPLS join: unknown, reused or stale token")
+        pending["session"] = session
+        pending["is_join"] = True
+        pending["conn_id"] = conn_id_from_cookie(token)
+        from repro.tls.extensions import EXT_TCPLS_HELLO, Extension
+
+        return [Extension(EXT_TCPLS_HELLO, b"")]
+
+    # -- lifecycle hooks into the mux -----------------------------------
+
+    def _on_accept(self, tcp):
+        self._mux._track_accept(tcp)
+        super()._on_accept(tcp)
+
+    def _feed(self, conn, pending):
+        super()._feed(conn, pending)
+        # A bad ClientHello (stale cookie, reused token, TLS garbage)
+        # makes the engine abort the transport -- which fires no
+        # callback, so sweep the table entry here or it leaks.
+        if not conn.tcp.is_open():
+            self._mux._transport_aborted(conn.tcp)
+
+    def _on_handshake_complete(self, conn, pending):
+        super()._on_handshake_complete(conn, pending)
+        self._mux._track_attach(conn)
+
+
+class MultiSessionServer:
+    """One event loop, thousands of TCPLS sessions.
+
+    Wraps a :class:`~repro.core.engine.server.TcplsServerEngine` on any
+    driver with the connection table, the credential cache and
+    per-session memory budgets.  The per-session engine code is
+    untouched; the mux only re-points transport callbacks after the
+    engine wires them, which is exactly where libconvert interposes
+    its ``_tcpls_lookup`` registry between the kernel and picotcpls.
+    """
+
+    def __init__(self, driver, port, psk, budget_bytes=DEFAULT_BUDGET,
+                 resume_fraction=DEFAULT_RESUME_FRACTION,
+                 release_handshakes=True, auto_retire=False,
+                 **server_kwargs):
+        self.driver = driver
+        self.table = ConnectionTable()
+        self.cache = CookieCache()
+        self.budget = MemoryBudget(budget_bytes, resume_fraction)
+        #: drop each connection's TLS handshake machine after attach
+        #: (tens of KB per connection at C1M scale)
+        self.release_handshakes = release_handshakes
+        #: retire a session automatically once its last transport is
+        #: gone (herd-scale churn would otherwise leak session state)
+        self.auto_retire = auto_retire
+        #: sessions retired (torn down) over the server's lifetime
+        self.retired = 0
+        #: lifetime backpressure pause / resume counts
+        self.pauses = 0
+        self.resumes = 0
+        #: application callback: one new ready session
+        self.on_session = None
+        self.engine = _MuxServerEngine(self, driver, port, psk,
+                                       **server_kwargs)
+        self.engine.on_session = self._on_session_ready
+        self.port = self.engine.port
+
+    # -- observability ---------------------------------------------------
+
+    def _emit(self, name, data=None):
+        bus = self.driver.bus
+        if not bus.wants("mux"):
+            return
+        payload = {"table": len(self.table),
+                   "sessions": len(self.engine.sessions)}
+        if data:
+            payload.update(data)
+        bus.emit("mux", name, payload)
+
+    # -- public surface --------------------------------------------------
+
+    @property
+    def sessions(self):
+        """Live sessions by session id (the engine's dict)."""
+        return self.engine.sessions
+
+    def session_count(self):
+        return len(self.engine.sessions)
+
+    def lookup(self, fd):
+        """``_tcpls_lookup(sd)``: the table entry for a transport fd."""
+        return self.table.lookup(fd)
+
+    def retire_session(self, session):
+        """Tear one session down completely: close its transports,
+        drop its table entries, revoke its outstanding join
+        credentials, and forget it -- a later MPJOIN with one of its
+        cookies/tokens must fail, not resurrect it."""
+        revoked = self.cache.invalidate_session(session)
+        for entry in self.table.entries_for(session):
+            self.table.remove(entry.fd)
+        session.close()
+        self.engine.sessions.pop(session.session_id, None)
+        self.retired += 1
+        self._emit("session_retired", {
+            "session": session.obs_id, "revoked_credentials": revoked,
+        })
+
+    def close(self):
+        """Retire every session and stop listening."""
+        for session in list(self.engine.sessions.values()):
+            self.retire_session(session)
+        for entry in list(self.table._entries.values()):
+            if entry.transport.is_open():
+                entry.transport.abort()
+            self.table.remove(entry.fd)
+        self.engine.listener.close()
+        self._emit("server_closed", {})
+
+    # -- accept / attach / teardown tracking -----------------------------
+
+    def _track_accept(self, tcp):
+        entry = self.table.add_pending(tcp)
+        # The stock engine leaves pre-handshake transports without
+        # close/reset callbacks; a client that gives up mid-handshake
+        # would leak its table entry forever.
+        tcp.set_callbacks(
+            on_close=lambda _c: self._pending_gone(entry),
+            on_reset=lambda _c: self._pending_gone(entry),
+        )
+        self._emit("accept", {"fd": entry.fd})
+
+    def _pending_gone(self, entry):
+        if entry.state == STATE_PENDING:
+            self.table.remove(entry.fd)
+            self._emit("pending_teardown", {"fd": entry.fd})
+
+    def _transport_aborted(self, tcp):
+        fd = getattr(tcp, "_mux_fd", None)
+        if fd is None:
+            return
+        entry = self.table.lookup(fd)
+        if entry is not None and entry.transport is tcp:
+            self.table.remove(fd)
+            self._emit("pending_teardown", {"fd": fd, "reason": "abort"})
+
+    def _on_session_ready(self, session):
+        session.on_drain = self._on_session_drain
+        session.on_conn_failed = self._conn_failed_hook
+        if self.on_session is not None:
+            self.on_session(session)
+
+    def _conn_failed_hook(self, conn, reason):
+        # A failover sync aborts the dead connection's transport
+        # without any transport callback; sweep its table entry here.
+        fd = getattr(conn.tcp, "_mux_fd", None)
+        if fd is None:
+            return
+        entry = self.table.lookup(fd)
+        if entry is not None and entry.conn is conn:
+            self._attached_gone(entry, "failed:%s" % reason)
+
+    def _track_attach(self, conn):
+        session = conn.session
+        if session is None or conn.failed:
+            return
+        fd = getattr(conn.tcp, "_mux_fd", None)
+        if fd is None:
+            # Transport never went through _track_accept (engine built
+            # directly); register it now so lookups still work.
+            entry = self.table.add_pending(conn.tcp)
+            fd = entry.fd
+        entry = self.table.attach(fd, session, conn)
+        if entry is None:
+            return
+        # Joined connections attach to sessions created before the
+        # join; make sure the mux hooks exist either way.
+        if session.on_drain is None:
+            session.on_drain = self._on_session_drain
+        if session.on_conn_failed is None:
+            session.on_conn_failed = self._conn_failed_hook
+        self._wrap_transport(entry)
+        if self.release_handshakes:
+            # Deferred one tick: the handshake often completes inside
+            # tls.feed(), whose caller still touches conn.tls after.
+            self.driver.clock.call_later(0.0, conn.release_handshake)
+        self._emit("attach", {
+            "fd": fd, "session": session.obs_id, "conn": conn.conn_id,
+            "join": conn.index > 0,
+        })
+
+    def _wrap_transport(self, entry):
+        """Interpose budget + table bookkeeping between the transport
+        callbacks the engine just wired and the session, mirroring how
+        libconvert slots its registry between kernel and picotcpls."""
+        conn, session, tcp = entry.conn, entry.session, entry.transport
+        session_on_data = tcp.on_data
+        session_on_close = tcp.on_close
+        session_on_reset = tcp.on_reset
+
+        def on_data(_c):
+            if entry.paused:
+                return
+            if self.budget.over(session):
+                self._pause_entry(entry)
+                return
+            session_on_data(_c)
+            if self.budget.over(session):
+                self._pause_entry(entry)
+
+        def on_close(_c):
+            if session_on_close is not None:
+                session_on_close(_c)
+            self._attached_gone(entry, "close")
+
+        def on_reset(_c):
+            if session_on_reset is not None:
+                session_on_reset(_c)
+            self._attached_gone(entry, "reset")
+
+        tcp.set_callbacks(on_data=on_data, on_close=on_close,
+                          on_reset=on_reset)
+
+    def _attached_gone(self, entry, reason):
+        if self.table.lookup(entry.fd) is entry:
+            self.table.remove(entry.fd)
+            self._emit("teardown", {"fd": entry.fd, "reason": reason})
+            if self.auto_retire and entry.session is not None \
+                    and entry.session.obs_id not in self.table.by_session:
+                # Last transport of the session just went away.  Retire
+                # on the next tick: we are deep inside the transport's
+                # close/reset delivery path, and a join racing this
+                # teardown may still attach before the tick fires (the
+                # re-check below keeps that session alive).
+                self.driver.clock.call_later(
+                    0.0, self._auto_retire_check, entry.session)
+
+    def _auto_retire_check(self, session):
+        if session.session_id not in self.engine.sessions:
+            return
+        if session.obs_id in self.table.by_session:
+            return
+        self.retire_session(session)
+
+    # -- backpressure -----------------------------------------------------
+
+    def _pause_entry(self, entry):
+        if entry.paused:
+            return
+        entry.paused = True
+        self.pauses += 1
+        pause = getattr(entry.transport, "pause_reading", None)
+        if pause is not None:
+            pause()
+        # Without pause_reading (simulator transports) the pause is
+        # purely "stop draining": bytes pile up in the transport's
+        # receive buffer, its advertised window closes, and TCP
+        # throttles the peer -- the same mechanism a kernel socket
+        # gets from dropping read interest.
+        self._emit("pause", {
+            "fd": entry.fd, "session": entry.session.obs_id,
+            "buffered": entry.session.buffered_rx_bytes(),
+        })
+
+    def _on_session_drain(self, session):
+        if not self.budget.drained(session):
+            return
+        for entry in self.table.entries_for(session):
+            if entry.paused:
+                self._resume_entry(entry)
+
+    def _resume_entry(self, entry):
+        entry.paused = False
+        self.resumes += 1
+        resume = getattr(entry.transport, "resume_reading", None)
+        if resume is not None:
+            resume()
+        self._emit("resume", {
+            "fd": entry.fd, "session": entry.session.obs_id,
+        })
+        # Process bytes that arrived while paused.  Deferred to the
+        # next clock tick: drain notifications fire from inside
+        # recv(), often deep inside this very session's delivery path.
+        self.driver.clock.call_later(0.0, self._drain_backlog, entry)
+
+    def _drain_backlog(self, entry):
+        if entry.paused or entry.conn is None:
+            return
+        if self.table.lookup(entry.fd) is not entry:
+            return
+        if entry.transport.is_open() or self._transport_has_bytes(
+                entry.transport):
+            # Through the wrapped on_data, so the backlog read is
+            # budget-checked and re-pauses if it overshoots again.
+            on_data = entry.transport.on_data
+            if on_data is not None:
+                on_data(entry.transport)
+
+    @staticmethod
+    def _transport_has_bytes(transport):
+        readable = getattr(transport, "readable_bytes", None)
+        if readable is not None:
+            return readable() > 0
+        buffered = getattr(transport, "_recv_buffer", None)
+        if buffered is not None:
+            return bool(buffered)
+        return False
+
+    def paused_fds(self):
+        """fds currently under backpressure (tests / gauges)."""
+        return sorted(
+            entry.fd for entry in self.table._entries.values()
+            if entry.paused
+        )
+
+
+__all__ = [
+    "ConnectionTable",
+    "CookieCache",
+    "MemoryBudget",
+    "MultiSessionServer",
+    "ShardLayout",
+    "TableEntry",
+]

@@ -148,6 +148,7 @@ class SocketTransport(Transport):
         self._connecting = connecting
         self._open = True
         self._close_pending = False
+        self._paused = False
         self.user_timeout = None
         self.on_established = None
         self.on_data = None
@@ -189,6 +190,28 @@ class SocketTransport(Transport):
 
     def unsent_bytes(self):
         return len(self._outbuf)
+
+    def fileno(self):
+        """Kernel fd (the multi-session connection-table key)."""
+        try:
+            return self.sock.fileno()
+        except (OSError, AttributeError):
+            return -1
+
+    def pause_reading(self):
+        """Backpressure: drop read interest so the kernel's receive
+        buffer fills and TCP's window closes toward the peer."""
+        if not self._paused:
+            self._paused = True
+            if self._open:
+                self.driver._update_interest(self)
+
+    def resume_reading(self):
+        """Re-arm read interest after the session drained its buffers."""
+        if self._paused:
+            self._paused = False
+            if self._open:
+                self.driver._update_interest(self)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -361,7 +384,7 @@ class SocketTransport(Transport):
                 self.on_send_space(self)
             if not self._open:
                 return
-        if mask & selectors.EVENT_READ:
+        if mask & selectors.EVENT_READ and not self._paused:
             self._handle_read()
         if self._open:
             self.driver._update_interest(self)
@@ -433,13 +456,17 @@ class SocketDriver(Driver):
     """Selector event loop binding engines to kernel TCP sockets."""
 
     def __init__(self, name="sockets", host="127.0.0.1", seed=None,
-                 bus=None):
+                 bus=None, reuse_port=False, backlog=128):
         self.name = name
         self.host = host
         self.clock = SocketClock()
         self.bus = bus if bus is not None else EventBus(self.clock)
         self.rng = random.Random(seed)
         self.tfo_enabled = False
+        #: bind listeners with SO_REUSEPORT so several shard processes
+        #: can share one port (the C1M listener-per-shard layout).
+        self.reuse_port = reuse_port
+        self.backlog = backlog
         self.selector = selectors.DefaultSelector()
         self.transports = []
         self.listeners = []
@@ -465,8 +492,10 @@ class SocketDriver(Driver):
     def listen(self, port, on_accept, cc=None):
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         sock.bind((self.host, port))
-        sock.listen(64)
+        sock.listen(self.backlog)
         listener = _SocketListener(self, sock, on_accept)
         self.listeners.append(listener)
         self.selector.register(sock, selectors.EVENT_READ, listener)
@@ -537,13 +566,26 @@ class SocketDriver(Driver):
     def _update_interest(self, transport):
         if not transport._open:
             return
-        mask = selectors.EVENT_READ
+        mask = 0
+        if not transport._paused:
+            mask |= selectors.EVENT_READ
         if transport._wants_write():
             mask |= selectors.EVENT_WRITE
+        if mask == 0:
+            # Paused with nothing to write: deregister entirely (the
+            # selector API has no zero-interest registration).
+            try:
+                self.selector.unregister(transport.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            return
         try:
             self.selector.modify(transport.sock, mask, transport)
         except KeyError:
-            pass
+            try:
+                self.selector.register(transport.sock, mask, transport)
+            except (ValueError, OSError):
+                pass
 
     def _unregister(self, transport):
         try:

@@ -37,12 +37,16 @@ class TcplsClientEngine(TcplsEngine):
 
     def __init__(self, driver, psk, cipher_names=("null-tag",),
                  enable_tcpls=True, fallback_retry=True, join_timeout=1.0,
-                 **session_kwargs):
+                 key_exchange="dhe", **session_kwargs):
         super().__init__(driver, is_client=True, **session_kwargs)
         self.psk = psk
         self.cipher_names = tuple(cipher_names)
         self.enable_tcpls = enable_tcpls
         self.fallback_retry = fallback_retry
+        #: ``"dhe"`` (default) or ``"psk"`` (RFC 8446 psk_ke: skip the
+        #: FFDHE exponentiations -- the cheap handshake mass-session
+        #: load generators use; see repro.core.drivers.multi)
+        self.key_exchange = key_exchange
         #: abandon a join attempt that has not completed in this long
         #: and rotate to another path (failover path probing)
         self.join_timeout = join_timeout
@@ -135,7 +139,8 @@ class TcplsClientEngine(TcplsEngine):
         tls = TlsClient(self.psk, self.driver.rng,
                         cipher_names=self.cipher_names,
                         extra_extensions=extra_extensions,
-                        early_data=early_data)
+                        early_data=early_data,
+                        key_exchange=self.key_exchange)
         tfo_payload = b""
         usable_tfo = (tfo and self.driver.tfo_enabled
                       and self.driver.tfo_cookie_for(remote.addr))

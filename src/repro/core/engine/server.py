@@ -71,6 +71,11 @@ class TcplsServerEngine:
         self.session_kwargs = session_kwargs
         self.sessions = {}
         self._cookie_seq = 0
+        #: monotonic session ordinal -- NOT ``len(self.sessions)``:
+        #: once sessions are retired (repro.core.drivers.multi) the
+        #: length repeats and a fresh id would collide with, and
+        #: silently overwrite, a live session's dict slot.
+        self._session_seq = 0
         #: called with each new server session so the application can
         #: attach stream/data callbacks before any record arrives.
         self.on_session = None
@@ -82,8 +87,9 @@ class TcplsServerEngine:
 
     def _new_session_id(self):
         material = b"%s:%d:%d" % (
-            self.driver.name.encode(), self.port, len(self.sessions)
+            self.driver.name.encode(), self.port, self._session_seq
         )
+        self._session_seq += 1
         return hashlib.sha256(material).digest()[:16]
 
     def _mint_cookies(self, session, count):

@@ -63,6 +63,9 @@ class ConnectionState:
         self.last_stream = None
         self.alive = False
         self.failed = False
+        #: we sent our FIN: the transport still receives (the peer's
+        #: half may be open) but can no longer accept sends.
+        self.local_closed = False
         self.records_received = 0
 
     @property
@@ -76,7 +79,8 @@ class ConnectionState:
 
     def writable(self):
         """Bytes may be handed to TCP (handshake data included)."""
-        return not self.failed and self.tcp.is_open()
+        return (not self.failed and not self.local_closed
+                and self.tcp.is_open())
 
     def usable(self):
         """Established TCPLS connection ready for records."""
@@ -86,6 +90,15 @@ class ConnectionState:
     def tcp_info(self):
         """Expose the underlying connection statistics (paper Sec. 3.3.3)."""
         return self.tcp.tcp_info()
+
+    def release_handshake(self):
+        """Drop the TLS handshake machine once the session has taken
+        over record processing (the traffic keys live in the stream
+        crypto contexts, not here).  Saves tens of kilobytes per
+        connection; the mass-session server calls this after
+        :meth:`TcplsEngine._takeover_tls`."""
+        if self.tls is not None and self.tls.handshake_complete:
+            self.tls = None
 
     def __repr__(self):
         state = "failed" if self.failed else (
@@ -179,6 +192,7 @@ class TcplsEngine:
         self.on_ebpf_attached = None     # (conn, program_id)
         self.on_writable = None          # (session)
         self.on_tcp_option = None        # (conn, kind, data)
+        self.on_drain = None             # (session)
 
     # ------------------------------------------------------------------
     # Observability
@@ -383,6 +397,47 @@ class TcplsEngine:
                                      stream.coupled_group or 0),
         )
         self._pump()
+
+    def buffered_rx_bytes(self):
+        """Receive-side bytes this session holds for the application:
+        delivered-but-unread stream/group buffers plus out-of-order
+        records parked in the reorder heaps.  The multi-session driver
+        (:mod:`repro.core.drivers.multi`) reads this against a
+        per-session memory budget to decide when to stop reading the
+        session's sockets."""
+        total = 0
+        for stream in self.streams.values():
+            total += len(stream.recv_buffer)
+            total += stream.recv_reorder.buffered_bytes
+        for group in self.groups.values():
+            total += len(group.recv_buffer)
+            total += group.reorder.buffered_bytes
+        return total
+
+    def _notify_drain(self):
+        """A stream/group ``recv()`` handed bytes to the application;
+        let the driver re-evaluate read backpressure."""
+        if self.on_drain is not None:
+            self.on_drain(self)
+
+    def close(self):
+        """Gracefully close every connection (FIN after buffered data).
+
+        Teardown, not flush-and-wait: record bytes the transports could
+        not accept yet are dropped along with the session's readiness,
+        so a retiring multi-session server releases the fds promptly.
+        """
+        for conn in list(self.conns):
+            if conn.pending_out:
+                self._drain(conn)
+                conn.pending_out.clear()
+                conn.pending_out_bytes = 0
+            if not conn.failed and conn.tcp.is_open():
+                conn.tcp.close()
+            conn.local_closed = True
+            conn.alive = False
+        self.ready = False
+        self._emit("session", "closed", {"conns": len(self.conns)})
 
     def connections(self):
         """Live view of the session's connections (paper: TCPLS exposes
@@ -1046,6 +1101,11 @@ class TcplsEngine:
                 failed.tcp.abort()
                 failed.pending_out.clear()
                 failed.pending_out_bytes = 0
+                # abort() fires no transport callback, so this is the
+                # only teardown signal observers (e.g. a connection
+                # table) get for the peer-declared-dead connection.
+                if self.on_conn_failed is not None:
+                    self.on_conn_failed(failed, "sync")
         for stream_id, _resume_seq in entries:
             stream = self.streams.get(stream_id)
             if stream is not None:

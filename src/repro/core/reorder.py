@@ -19,6 +19,9 @@ class ReorderBuffer:
         self._pending = {}
         self.max_depth = 0
         self.out_of_order = 0
+        #: payload bytes parked waiting for a gap to fill (feeds the
+        #: per-session memory budget in repro.core.drivers.multi)
+        self.buffered_bytes = 0
 
     def push(self, seq, payload):
         """Insert one item; returns the list of in-order payloads released.
@@ -31,11 +34,18 @@ class ReorderBuffer:
             self.out_of_order += 1
         heapq.heappush(self._heap, seq)
         self._pending[seq] = payload
+        # Payloads are bytes on the session path; test harnesses push
+        # arbitrary sentinels, which count as zero-sized.
+        self.buffered_bytes += len(payload) if hasattr(payload, "__len__") \
+            else 0
         self.max_depth = max(self.max_depth, len(self._heap))
         released = []
         while self._heap and self._heap[0] == self.next_seq:
             head = heapq.heappop(self._heap)
-            released.append(self._pending.pop(head))
+            item = self._pending.pop(head)
+            self.buffered_bytes -= len(item) if hasattr(item, "__len__") \
+                else 0
+            released.append(item)
             self.next_seq += 1
         return released
 

@@ -89,9 +89,11 @@ class TcplsStream:
         if n is None or n >= len(self.recv_buffer):
             data = bytes(self.recv_buffer)
             self.recv_buffer.clear()
-            return data
-        data = bytes(self.recv_buffer[:n])
-        del self.recv_buffer[:n]
+        else:
+            data = bytes(self.recv_buffer[:n])
+            del self.recv_buffer[:n]
+        if data:
+            self.session._notify_drain()
         return data
 
     @property
@@ -203,9 +205,11 @@ class CoupledGroup:
         if n is None or n >= len(self.recv_buffer):
             data = bytes(self.recv_buffer)
             self.recv_buffer.clear()
-            return data
-        data = bytes(self.recv_buffer[:n])
-        del self.recv_buffer[:n]
+        else:
+            data = bytes(self.recv_buffer[:n])
+            del self.recv_buffer[:n]
+        if data:
+            self.session._notify_drain()
         return data
 
     def next_control(self, fin=False):

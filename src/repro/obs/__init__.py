@@ -20,6 +20,7 @@ from repro.obs.bus import CaptureSink, EventBus, RingBufferSink, Subscription
 from repro.obs.events import (
     ALL_CATEGORIES,
     CAT_LINK,
+    CAT_MUX,
     CAT_PERF,
     CAT_RECOVERY,
     CAT_SCHEDULER,
@@ -45,6 +46,7 @@ from repro.obs.invariants import (
 __all__ = [
     "ALL_CATEGORIES",
     "CAT_LINK",
+    "CAT_MUX",
     "CAT_PERF",
     "CAT_RECOVERY",
     "CAT_SCHEDULER",

@@ -32,9 +32,12 @@ CAT_SCHEDULER = "scheduler"
 #: Performance counters: per-run seal/open byte totals, event-loop heap
 #: compactions (emitted by the simulator and session hot paths).
 CAT_PERF = "perf"
+#: Multi-session serving (repro.core.drivers.multi): connection-table
+#: gauges, attach/teardown accounting, backpressure pause/resume.
+CAT_MUX = "mux"
 
 ALL_CATEGORIES = (CAT_TCP, CAT_TLS, CAT_SESSION, CAT_RECOVERY, CAT_LINK,
-                  CAT_SCHEDULER, CAT_PERF)
+                  CAT_SCHEDULER, CAT_PERF, CAT_MUX)
 
 
 class Event:

@@ -19,11 +19,18 @@ from repro.perf.costmodel import (
     TcplsModel,
     solve_throughput_gbps,
 )
+from repro.perf.loadgen import (
+    LoadgenHarness,
+    merge_shards,
+    run_shard,
+    shard_points,
+)
 from repro.perf.sweep import SweepPoint, run_sweep, sweep_to_json
 from repro.perf.traincost import TrainCostAccountant, attach_train_accounting
 
 __all__ = [
     "CpuProfile",
+    "LoadgenHarness",
     "QuicModel",
     "QuicSenderModel",
     "SweepPoint",
@@ -32,7 +39,10 @@ __all__ = [
     "TlsTcpModel",
     "TrainCostAccountant",
     "attach_train_accounting",
+    "merge_shards",
+    "run_shard",
     "run_sweep",
+    "shard_points",
     "solve_throughput_gbps",
     "sweep_to_json",
 ]

@@ -24,10 +24,15 @@ from repro.tls.extensions import (
     EXT_EARLY_DATA,
     EXT_KEY_SHARE,
     EXT_PRE_SHARED_KEY,
+    EXT_PSK_KEY_EXCHANGE_MODES,
     EXT_SUPPORTED_VERSIONS,
     Extension,
     find_extension,
 )
+
+#: RFC 8446 Sec. 4.2.9 PskKeyExchangeMode values.
+PSK_KE = 0       #: PSK-only establishment (no (EC)DHE)
+PSK_DHE_KE = 1   #: PSK with (EC)DHE (the default handshake here)
 from repro.tls.handshake_messages import (
     CIPHER_SUITE_NAMES,
     ClientHello,
@@ -178,10 +183,17 @@ class TlsClient(_TlsEndpoint):
     """
 
     def __init__(self, psk, rng, cipher_names=("null-tag",),
-                 extra_extensions=(), early_data=b""):
+                 extra_extensions=(), early_data=b"", key_exchange="dhe"):
         super().__init__(psk, cipher_names, rng)
         self.extra_extensions = list(extra_extensions)
         self.early_data = early_data
+        if key_exchange not in ("dhe", "psk"):
+            raise ValueError("key_exchange must be 'dhe' or 'psk'")
+        #: ``"dhe"`` runs the full PSK + FFDHE handshake; ``"psk"``
+        #: offers RFC 8446 ``psk_ke`` (no key share, no modular
+        #: exponentiation) -- the mode a server multiplexing thousands
+        #: of PSK sessions negotiates to keep handshake cost flat.
+        self.key_exchange = key_exchange
         self._dh = None
         self._state = "START"
 
@@ -189,13 +201,18 @@ class TlsClient(_TlsEndpoint):
         """Emit the ClientHello (and any 0-RTT early data)."""
         if self._state != "START":
             raise TlsError("client already started")
-        self._dh = FFDHE2048.generate(self.rng)
         extensions = [
             Extension(EXT_SUPPORTED_VERSIONS,
                       bytes([2]) + TLS13_VERSION.to_bytes(2, "big")),
-            Extension(EXT_KEY_SHARE, self._dh.public_bytes()),
-            Extension(EXT_PRE_SHARED_KEY, b"psk-identity"),
         ]
+        if self.key_exchange == "dhe":
+            self._dh = FFDHE2048.generate(self.rng)
+            extensions.append(
+                Extension(EXT_KEY_SHARE, self._dh.public_bytes()))
+        else:
+            extensions.append(
+                Extension(EXT_PSK_KEY_EXCHANGE_MODES, bytes([1, PSK_KE])))
+        extensions.append(Extension(EXT_PRE_SHARED_KEY, b"psk-identity"))
         if self.early_data:
             extensions.append(Extension(EXT_EARLY_DATA, b""))
         extensions.extend(self.extra_extensions)
@@ -240,10 +257,15 @@ class TlsClient(_TlsEndpoint):
         self.cipher_cls = get_cipher(self.negotiated_cipher)
         self.schedule.cipher_cls = self.cipher_cls
         key_share = hello.find_extension(EXT_KEY_SHARE)
-        if key_share is None:
-            raise TlsError("server omitted key_share")
-        peer_public = DHKeyPair.public_from_bytes(key_share.data)
-        shared = FFDHE2048.shared_secret(self._dh.private, peer_public)
+        if self.key_exchange == "psk":
+            if key_share is not None:
+                raise TlsError("server sent key_share in psk_ke mode")
+            shared = b""
+        else:
+            if key_share is None:
+                raise TlsError("server omitted key_share")
+            peer_public = DHKeyPair.public_from_bytes(key_share.data)
+            shared = FFDHE2048.shared_secret(self._dh.private, peer_public)
         self.schedule.update_transcript(raw)
         client_hs, server_hs = self.schedule.derive_handshake(shared)
         self._decryptor = RecordDecryptor(self.cipher_cls(server_hs.key),
@@ -291,7 +313,7 @@ class TlsServer(_TlsEndpoint):
 
     KNOWN_EXTENSIONS = frozenset({
         EXT_SUPPORTED_VERSIONS, EXT_KEY_SHARE, EXT_PRE_SHARED_KEY,
-        EXT_EARLY_DATA,
+        EXT_EARLY_DATA, EXT_PSK_KEY_EXCHANGE_MODES,
     })
 
     def __init__(self, psk, rng, cipher_names=("null-tag",),
@@ -335,11 +357,21 @@ class TlsServer(_TlsEndpoint):
         self.negotiated_cipher = CIPHER_SUITE_NAMES[suite]
         self.cipher_cls = get_cipher(self.negotiated_cipher)
         key_share = hello.find_extension(EXT_KEY_SHARE)
-        if key_share is None:
-            raise TlsError("client omitted key_share")
-        peer_public = DHKeyPair.public_from_bytes(key_share.data)
-        dh = FFDHE2048.generate(self.rng)
-        shared = FFDHE2048.shared_secret(dh.private, peer_public)
+        psk_modes = hello.find_extension(EXT_PSK_KEY_EXCHANGE_MODES)
+        psk_only = (
+            key_share is None and psk_modes is not None
+            and PSK_KE in psk_modes.data[1:1 + (psk_modes.data[0]
+                                                if psk_modes.data else 0)]
+        )
+        if psk_only:
+            dh = None
+            shared = b""
+        else:
+            if key_share is None:
+                raise TlsError("client omitted key_share")
+            peer_public = DHKeyPair.public_from_bytes(key_share.data)
+            dh = FFDHE2048.generate(self.rng)
+            shared = FFDHE2048.shared_secret(dh.private, peer_public)
 
         self.schedule = KeySchedule(self.cipher_cls, psk=self.psk)
         self.schedule.update_transcript(raw)
@@ -349,12 +381,13 @@ class TlsServer(_TlsEndpoint):
                 self.cipher_cls(keys.key), keys.iv
             )
 
-        server_hello = ServerHello(
-            self._random(), suite,
-            [Extension(EXT_SUPPORTED_VERSIONS, TLS13_VERSION.to_bytes(2, "big")),
-             Extension(EXT_KEY_SHARE, dh.public_bytes()),
-             Extension(EXT_PRE_SHARED_KEY, b"\x00\x00")],
-        )
+        sh_extensions = [
+            Extension(EXT_SUPPORTED_VERSIONS, TLS13_VERSION.to_bytes(2, "big")),
+        ]
+        if dh is not None:
+            sh_extensions.append(Extension(EXT_KEY_SHARE, dh.public_bytes()))
+        sh_extensions.append(Extension(EXT_PRE_SHARED_KEY, b"\x00\x00"))
+        server_hello = ServerHello(self._random(), suite, sh_extensions)
         sh_raw = server_hello.encode()
         self.schedule.update_transcript(sh_raw)
         self._out += encode_plaintext_record(CONTENT_HANDSHAKE, sh_raw)
