@@ -19,10 +19,16 @@ The JSON envelope (``--json``) contains only simulator-time metrics --
 same seed, same bytes, every run.  Wall-clock timing goes to stderr
 and never into the file.
 
+``--fluid SCENARIO`` switches to the fluid fast-forward populations
+(:class:`~repro.perf.loadgen.FluidScenarioHarness`): steady-state
+flows advance in closed form, so ``--flows 100000`` completes in
+seconds of wall clock where the packet path needs minutes.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_c1m.py --json benchmarks/BENCH_6.json
     PYTHONPATH=src python benchmarks/bench_c1m.py --sessions 20000 --shards 4 --jobs 4
+    PYTHONPATH=src python benchmarks/bench_c1m.py --fluid fairness --flows 100000
 """
 
 import argparse
@@ -30,8 +36,94 @@ import json
 import sys
 import time
 
-from repro.perf.loadgen import merge_shards, run_shard, shard_points
+from repro.perf.loadgen import (
+    FluidScenarioHarness,
+    merge_shards,
+    run_fluid_scenario,
+    run_shard,
+    shard_points,
+)
 from repro.perf.sweep import run_sweep
+
+
+def run_fluid(args):
+    """The 100k-flow fluid fast-forward benchmark path."""
+    scenarios = (list(FluidScenarioHarness.SCENARIOS)
+                 if args.fluid == "all" else [args.fluid])
+    config = {
+        "mode": "fluid",
+        "scenarios": scenarios,
+        "flows": args.flows,
+        "seed": args.seed,
+    }
+    started = time.monotonic()
+    results = []
+    scenario_walls = {}
+    for scenario in scenarios:
+        t0 = time.monotonic()
+        metrics = run_fluid_scenario(
+            scenario=scenario, flows=args.flows, seed=args.seed)
+        scenario_walls[scenario] = round(time.monotonic() - t0, 3)
+        print("c1m-fluid: %s: %d/%d flows, %d leaps (%.1fs sim leapt), "
+              "%d solves, wall %.1fs"
+              % (scenario, metrics["flows_completed"], metrics["flows"],
+                 metrics["fluid_leaps"], metrics["fluid_leapt_time"],
+                 metrics["fluid_solves"], scenario_walls[scenario]),
+              file=sys.stderr)
+        results.append(metrics)
+    wall = time.monotonic() - started
+    envelope = {
+        "bench": "c1m-fluid",
+        "config": config,
+        "results": results,
+        "summary": {
+            "flows": sum(r["flows"] for r in results),
+            "flows_completed": sum(r["flows_completed"] for r in results),
+            "fluid_leaps": sum(r["fluid_leaps"] for r in results),
+            "fluid_solves": sum(r["fluid_solves"] for r in results),
+            "stalls": sum(r["stalls"] for r in results),
+            "migrations": sum(r["migrations"] for r in results),
+            "heap_compactions": sum(r["heap_compactions"] for r in results),
+            "train_peels": sum(r["train_peels"] for r in results),
+        },
+    }
+    if args.compare_packet:
+        # Before/after record: the same machine runs the packet-level
+        # acceptance C1M so BENCH_7-style files carry both wall clocks.
+        # Wall timing is machine-dependent and only included under this
+        # flag -- the default envelope stays deterministic.
+        print("c1m-fluid: running packet-level baseline (%d sessions)..."
+              % args.sessions, file=sys.stderr)
+        t0 = time.monotonic()
+        packet = run_shard(sessions=args.sessions, seed=args.seed,
+                           budget_bytes=args.budget)
+        packet_wall = round(time.monotonic() - t0, 3)
+        envelope["wall_clock"] = {
+            "note": "machine-dependent; recorded by --compare-packet",
+            "fluid_scenarios_s": scenario_walls,
+            "fluid_total_s": round(time.monotonic() - started
+                                   - packet_wall, 3),
+            "packet_c1m_s": packet_wall,
+            "packet_sessions": args.sessions,
+            "fluid_flows": args.flows,
+        }
+        print("c1m-fluid: packet baseline %d sessions in %.1fs wall"
+              % (args.sessions, packet_wall), file=sys.stderr)
+    text = json.dumps(envelope, sort_keys=True, indent=2) + "\n"
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    print("c1m-fluid: %d scenario(s) x %d flows, wall %.1fs total"
+          % (len(scenarios), args.flows, wall), file=sys.stderr)
+    incomplete = envelope["summary"]["flows"] \
+        - envelope["summary"]["flows_completed"]
+    if incomplete:
+        print("c1m-fluid: WARNING: %d flows never completed" % incomplete,
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -46,9 +138,24 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--budget", type=int, default=256 * 1024,
                         help="per-session receive-memory budget (bytes)")
+    parser.add_argument("--fluid", metavar="SCENARIO",
+                        choices=list(FluidScenarioHarness.SCENARIOS)
+                        + ["all"],
+                        help="run a fluid fast-forward population instead "
+                             "of packet-level sessions: %s, or 'all'"
+                             % "/".join(FluidScenarioHarness.SCENARIOS))
+    parser.add_argument("--flows", type=int, default=100_000,
+                        help="flow population for --fluid (default 100000)")
+    parser.add_argument("--compare-packet", action="store_true",
+                        help="with --fluid: also run the packet-level "
+                             "C1M and record both wall clocks in the "
+                             "envelope (machine-dependent)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the deterministic envelope here")
     args = parser.parse_args(argv)
+
+    if args.fluid:
+        return run_fluid(args)
 
     config = {
         "sessions": args.sessions,

@@ -77,10 +77,13 @@ def main(argv=None):
     only_new = sorted(set(new) - set(baseline))
     for name in only_old:
         print("%-48s (removed: present only in baseline)" % name[:48])
+    # A bench with no baseline entry is *new*, not a regression: it
+    # gets its first baseline on the next refresh and must never fail
+    # the gate.
     for name in only_new:
-        print("%-48s (added: no baseline yet)" % name[:48])
+        print("%-48s (new: no baseline yet)" % name[:48])
 
-    print("\n%d compared, %d improved, %d regressed, %d added, %d removed"
+    print("\n%d compared, %d improved, %d regressed, %d new, %d removed"
           % (compared, improved, len(regressions), len(only_new),
              len(only_old)))
     if regressions:

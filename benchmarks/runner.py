@@ -33,6 +33,11 @@ def main(argv=None):
                              "(substring match)")
     parser.add_argument("--list", action="store_true",
                         help="list point names and exit")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="run the points serially in-process under "
+                             "cProfile and dump the stats file here "
+                             "(pool workers cannot be profiled from the "
+                             "parent; implies --jobs 1 semantics)")
     args = parser.parse_args(argv)
 
     import sweep_points
@@ -52,7 +57,28 @@ def main(argv=None):
         return 2
 
     started = time.perf_counter()
-    results = run_sweep(points, jobs=args.jobs)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        results = []
+        profiler.enable()
+        for point in points:
+            try:
+                results.append({"name": point.name,
+                                "metrics": point.run()})
+            except Exception as exc:   # mirror the pool's error shape
+                results.append({"name": point.name, "error": repr(exc)})
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        print("profile: %d calls in %.3fs -> %s (top 10 by cumulative:)"
+              % (stats.total_calls, stats.total_tt, args.profile),
+              file=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(10)
+    else:
+        results = run_sweep(points, jobs=args.jobs)
     elapsed = time.perf_counter() - started
 
     failures = [r for r in results if "error" in r]

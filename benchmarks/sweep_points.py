@@ -120,6 +120,17 @@ def c1m_loadgen_point(sessions=400, failover_sessions=8):
                      failover_sessions=failover_sessions)
 
 
+def fluid_scenario_point(scenario="fairness", flows=20_000):
+    """Scaled-down fluid fast-forward population: the 100k-flow
+    scenarios live in ``bench_c1m.py --fluid``; this point keeps the
+    closed-form engine under the JOBS determinism gate."""
+    from repro.perf.loadgen import run_fluid_scenario
+
+    metrics = run_fluid_scenario(scenario=scenario, flows=flows)
+    metrics.pop("links", None)     # bulky and redundant under the gate
+    return metrics
+
+
 def default_points():
     """The standard sweep, in canonical (merge) order."""
     from repro.perf import SweepPoint
@@ -137,4 +148,8 @@ def default_points():
                                  fig8_mptcp_point, {"outage": outage}))
     points.append(SweepPoint("fig9/rotation", fig9_rotation_point))
     points.append(SweepPoint("c1m/loadgen", c1m_loadgen_point))
+    for scenario in ("fairness", "incast", "failover_storm"):
+        points.append(SweepPoint("fluid/%s" % scenario,
+                                 fluid_scenario_point,
+                                 {"scenario": scenario}))
     return points

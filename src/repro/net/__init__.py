@@ -33,9 +33,17 @@ from repro.net.faults import (
     LinkFlap,
 )
 from repro.net.scenario import Scenario
+from repro.net.fluid import (
+    FluidCohort,
+    FluidEngine,
+    SessionFluidAdapter,
+    max_min_shares,
+)
 from repro.net.topology import (
+    DumbbellTopology,
     FaultyTopology,
     MultipathTopology,
+    build_dumbbell,
     build_faulty_multipath,
     build_multipath,
 )
@@ -44,9 +52,12 @@ __all__ = [
     "BitCorruption",
     "Blackhole",
     "BlackholeFault",
+    "DumbbellTopology",
     "Endpoint",
     "Fault",
     "FaultyTopology",
+    "FluidCohort",
+    "FluidEngine",
     "GilbertElliott",
     "Host",
     "IPAddress",
@@ -63,9 +74,12 @@ __all__ = [
     "Router",
     "RstInjector",
     "Scenario",
+    "SessionFluidAdapter",
     "Simulator",
     "StatefulFirewall",
+    "build_dumbbell",
     "build_faulty_multipath",
     "build_multipath",
     "duplex_link",
+    "max_min_shares",
 ]

@@ -144,6 +144,8 @@ class LinkFlap(Fault):
     def force(self, down):
         """Manually hold the link down (or release it)."""
         self.forced_down = down
+        if self.link is not None:
+            self.link._fluid_touch()
 
     def reopen(self, now):
         """Bring the link back up *now*: clears the forced flag and

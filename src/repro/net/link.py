@@ -125,6 +125,21 @@ class Link:
     def set_up(self, up):
         """Administratively enable/disable the link (interface hotplug)."""
         self.up = up
+        self._fluid_touch()
+
+    def _fluid_touch(self):
+        """Notify an attached fluid engine of an immediate capacity
+        change (administrative up/down, forced flap, blackhole toggle)
+        so it can re-solve shares; a no-op in pure packet mode."""
+        engine = self.sim.fluid
+        if engine is not None:
+            engine.touch()
+
+    def fluid_advance(self, nbytes, npackets):
+        """Advance delivery counters in closed form (fluid mode books
+        leapt traffic here instead of per-packet ``_deliver`` calls)."""
+        self.stats.tx_bytes += nbytes
+        self.stats.tx_packets += npackets
 
     def send(self, packet):
         """Entry point for the transmitting node."""

@@ -27,9 +27,13 @@ import heapq
 import itertools
 import random
 
-#: never compact below this many cancelled entries (tiny heaps are
-#: cheaper to pop through than to rebuild).
-_COMPACT_MIN_CANCELLED = 64
+#: default heap-compaction threshold: never compact below this many
+#: cancelled entries (tiny heaps are cheaper to pop through than to
+#: rebuild).  Per-instance override: ``Simulator(min_compact=N)``.
+MIN_COMPACT = 64
+
+#: backwards-compatible alias (pre-fluid name).
+_COMPACT_MIN_CANCELLED = MIN_COMPACT
 
 
 class Event:
@@ -119,13 +123,20 @@ class Simulator:
         Seed for the simulator-owned random generator.  All stochastic
         behaviour (link loss, jitter) must draw from :attr:`rng` so runs
         are reproducible.
+    min_compact:
+        Heap-compaction threshold for this instance (defaults to
+        :data:`MIN_COMPACT`): lazy-cancelled entries are only swept once
+        at least this many have accumulated *and* they dominate the
+        heap.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, min_compact=None):
         from repro.obs.bus import EventBus
 
         self.now = 0.0
         self.rng = random.Random(seed)
+        self.min_compact = MIN_COMPACT if min_compact is None \
+            else int(min_compact)
         self._queue = []
         self._seq = itertools.count()
         self._running = False
@@ -144,6 +155,27 @@ class Simulator:
         #: the simulation-wide observability bus (see :mod:`repro.obs`);
         #: emission is a near-no-op until something subscribes.
         self.bus = EventBus(self)
+        #: the attached fluid fast-forward engine, if any (see
+        #: :mod:`repro.net.fluid`).  Links and faults notify it of
+        #: immediate topology changes through this hook.
+        self.fluid = None
+
+    def attach_fluid(self, engine):
+        """Install a :class:`~repro.net.fluid.FluidEngine` as this
+        simulation's fast-forward layer (done by its constructor)."""
+        self.fluid = engine
+        return engine
+
+    @property
+    def fluid_leaps(self):
+        """Closed-form fast-forward advances performed (0 without an
+        attached fluid engine)."""
+        return self.fluid.leaps if self.fluid is not None else 0
+
+    @property
+    def fluid_leapt_time(self):
+        """Simulated seconds covered by fluid leaps."""
+        return self.fluid.leapt_time if self.fluid is not None else 0.0
 
     def schedule(self, delay, fn, *args):
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -204,7 +236,7 @@ class Simulator:
         """An in-queue event was cancelled; compact if dead entries
         dominate the heap."""
         self._cancelled += 1
-        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+        if (self._cancelled >= self.min_compact
                 and self._cancelled * 2 >= len(self._queue)):
             self._compact()
 

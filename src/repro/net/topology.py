@@ -10,7 +10,7 @@ scripted directly.
 
 from repro.net.address import IPAddress
 from repro.net.host import Host
-from repro.net.link import duplex_link
+from repro.net.link import Link, duplex_link
 from repro.net.middlebox import Blackhole
 from repro.net.scenario import Scenario
 
@@ -173,6 +173,59 @@ def build_faulty_multipath(sim, scenario=None, **kwargs):
     topo = build_multipath(sim, **kwargs)
     return FaultyTopology(sim, topo.client, topo.server, topo.paths,
                           scenario=scenario)
+
+
+class DumbbellTopology:
+    """Leaf links feeding shared core links — the fluid population shape.
+
+    ``leaves[i]`` is the access link of flow group ``i``; ``core`` is
+    the shared bottleneck every group crosses; ``backup`` (optional) is
+    a second core used by failover scenarios after the primary dies.
+    The links carry no hosts or sinks: fluid cohorts only consume
+    capacities, fault schedules and :class:`~repro.net.link.LinkStats`,
+    never packets.
+    """
+
+    def __init__(self, sim, leaves, core, backup=None):
+        self.sim = sim
+        self.leaves = leaves
+        self.core = core
+        self.backup = backup
+
+    def links(self):
+        out = list(self.leaves) + [self.core]
+        if self.backup is not None:
+            out.append(self.backup)
+        return out
+
+    def path(self, leaf_index, via_backup=False):
+        """The link list a flow in group ``leaf_index`` crosses."""
+        core = self.backup if via_backup else self.core
+        return [self.leaves[leaf_index], core]
+
+
+def build_dumbbell(sim, n_leaves=8, leaf_rate_bps=1_000_000_000,
+                   core_rate_bps=10_000_000_000, delay=0.005,
+                   leaf_delays=None, backup=False):
+    """Build the shared-bottleneck dumbbell used by the 100k-flow fluid
+    scenarios (fairness / incast / failover-storm).
+
+    ``leaf_delays`` optionally varies per-leaf one-way delay so RTT
+    weighting is observable; ``backup=True`` adds a second core link for
+    failover storms.
+    """
+    leaves = [
+        Link(sim, rate_bps=leaf_rate_bps,
+             delay=(leaf_delays[i] if leaf_delays else delay),
+             name="leaf%d" % i)
+        for i in range(n_leaves)
+    ]
+    core = Link(sim, rate_bps=core_rate_bps, delay=delay, name="core")
+    backup_link = None
+    if backup:
+        backup_link = Link(sim, rate_bps=core_rate_bps, delay=delay,
+                           name="core-backup")
+    return DumbbellTopology(sim, leaves, core, backup_link)
 
 
 def build_multipath(sim, n_paths=2, rate_bps=25_000_000, delay=0.010,

@@ -29,11 +29,36 @@ spawn workers for the listener-per-shard layout
 from repro.core.client import TcplsClient
 from repro.core.drivers.multi import MultiSessionServer
 from repro.core.drivers.sim import SimDriver
-from repro.net import Simulator, build_faulty_multipath
-from repro.net.address import Endpoint
+from repro.net import Simulator, build_dumbbell, build_faulty_multipath
+from repro.net.fluid import FluidCohort, FluidEngine
 from repro.tcp import TcpStack
+from repro.net.address import Endpoint
 
 _PSK = b"c1m-loadgen-psk"
+
+
+def build_wave_schedule(count, waves, wave_interval, start=0.0):
+    """Deterministic connect schedule shared by the packet (C1M) and
+    fluid population harnesses: ``count`` sessions ramp up in ``waves``
+    evenly spaced waves of ``ceil(count / waves)``.
+
+    Returns a list of ``(time, index)`` pairs in firing order; the last
+    wave may be short.  Both :class:`LoadgenHarness` and
+    :class:`FluidScenarioHarness` drive their ramps off this one
+    builder, so a fluid run and a packet run of the same population use
+    byte-identical start times.
+    """
+    per_wave = max(1, -(-count // max(1, waves)))
+    schedule = []
+    index = 0
+    wave = 0
+    while index < count:
+        t = start + wave * wave_interval
+        for _ in range(min(per_wave, count - index)):
+            schedule.append((t, index))
+            index += 1
+        wave += 1
+    return schedule
 
 
 def _percentile(sorted_values, fraction):
@@ -261,24 +286,23 @@ class LoadgenHarness:
                                  self.mux.session_count())
 
     def _schedule_generation(self, count, start, generation):
-        per_wave = max(1, -(-count // self.waves))
-        index = 0
-        wave = 0
-        while index < count:
-            t = start + wave * self.wave_interval
-            for _ in range(min(per_wave, count - index)):
-                script = _ClientScript(self, index, generation)
-                if generation == 0:
-                    if index < self.failover_sessions:
-                        script.is_failover = True
-                    elif self.join_fraction and index % max(
-                            1, int(1 / self.join_fraction)) == 0:
-                        script.is_joiner = True
-                self.scripts.append(script)
-                self.sim.schedule(t, script.connect)
-                index += 1
-            self.sim.schedule(t + self.wave_interval, self._sample)
-            wave += 1
+        last_t = None
+        for t, index in build_wave_schedule(
+                count, self.waves, self.wave_interval, start):
+            if last_t is not None and t != last_t:
+                self.sim.schedule(last_t + self.wave_interval, self._sample)
+            last_t = t
+            script = _ClientScript(self, index, generation)
+            if generation == 0:
+                if index < self.failover_sessions:
+                    script.is_failover = True
+                elif self.join_fraction and index % max(
+                        1, int(1 / self.join_fraction)) == 0:
+                    script.is_joiner = True
+            self.scripts.append(script)
+            self.sim.schedule(t, script.connect)
+        if last_t is not None:
+            self.sim.schedule(last_t + self.wave_interval, self._sample)
 
     def run(self):
         self._schedule_generation(self.sessions, 0.0, 0)
@@ -350,8 +374,252 @@ class LoadgenHarness:
             "sessions_per_sec": round(c["ready"] / done, 3),
             "bytes_per_sec": round(c["bytes"] / done, 3),
             "sim_elapsed": elapsed,
+            # Simulator internals (heap hygiene + fast-forward), mirrored
+            # into the bench ``--json`` envelopes.
+            "heap_compactions": self.sim.compactions,
+            "train_peels": self.sim.train_peels,
+            "trains_scheduled": self.sim.trains_scheduled,
+            "fluid_leaps": self.sim.fluid_leaps,
+            "fluid_leapt_time": round(self.sim.fluid_leapt_time, 9),
         }
         return metrics
+
+
+def _jain(values):
+    """Jain's fairness index: 1.0 = perfectly equal."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares <= 0.0:
+        return None
+    return round(square_of_sum / (len(values) * sum_of_squares), 6)
+
+
+class FluidScenarioHarness:
+    """Pure-fluid population scenarios at 100k-flow scale.
+
+    Unlike :class:`LoadgenHarness` (real TCPLS sessions, one event per
+    packet), these scenarios drive
+    :class:`~repro.net.fluid.FluidCohort` populations over a host-less
+    dumbbell.  Each (wave, leaf) pair is one cohort, so a run costs
+    O(waves x leaves) share recomputations plus one engine event per
+    distinct completion time -- which is what lets 100_000 flows finish
+    in seconds of wall clock where the packet simulator would need
+    hundreds of millions of events.
+
+    The connect ramp comes from :func:`build_wave_schedule`, the same
+    builder the packet C1M harness uses, so fluid and packet
+    populations share one deterministic schedule.
+
+    Scenarios
+    ---------
+    ``fairness``
+        Flow groups with per-leaf one-way delays ``delay .. leaves x
+        delay`` share the core.  The probe records converged per-flow
+        rates; with 1/rtt weights the product ``rate x rtt`` should be
+        equal across groups (reported as a Jain index).
+    ``incast``
+        Every group fans into one receiver access link that is the
+        bottleneck; the probe reports its utilization.
+    ``failover_storm``
+        All groups cross the primary core; at ``fail_at`` it is forced
+        down, every cohort stalls at once, and after ``detect_delay``
+        (the user-timeout analogue) each restarts -- in slow start --
+        on the backup core.
+    """
+
+    SCENARIOS = ("fairness", "incast", "failover_storm")
+
+    def __init__(self, scenario="fairness", flows=100_000, seed=42,
+                 flow_bytes=1_000_000, waves=20, wave_interval=0.05,
+                 leaves=8, leaf_rate_bps=1_000_000_000,
+                 core_rate_bps=10_000_000_000, delay=0.005,
+                 detect_delay=0.2, fail_at=None, horizon=3600.0):
+        if scenario not in self.SCENARIOS:
+            raise ValueError("unknown fluid scenario %r" % scenario)
+        self.scenario = scenario
+        self.flows = flows
+        self.flow_bytes = float(flow_bytes)
+        self.waves = waves
+        self.wave_interval = wave_interval
+        self.leaves = leaves
+        self.detect_delay = detect_delay
+        ramp = waves * wave_interval
+        self.fail_at = fail_at if fail_at is not None else ramp + 0.4
+        self.t_probe = ramp + 0.3
+        self.horizon = horizon
+
+        self.sim = Simulator(seed=seed)
+        leaf_delays = None
+        n_leaves = leaves
+        if scenario == "fairness":
+            leaf_delays = [delay * (i + 1) for i in range(leaves)]
+            # RTT weighting is only observable when the *shared* core
+            # binds; uncapped access links keep the leaves out of the
+            # allocation.
+            leaf_rate_bps = core_rate_bps
+        elif scenario == "incast":
+            n_leaves = leaves + 1          # last leaf = receiver access
+        self.topo = build_dumbbell(
+            self.sim, n_leaves=n_leaves, leaf_rate_bps=leaf_rate_bps,
+            core_rate_bps=core_rate_bps, delay=delay,
+            leaf_delays=leaf_delays, backup=(scenario == "failover_storm"))
+        self.engine = FluidEngine(self.sim)
+
+        self.cohorts_started = 0
+        self.flows_completed = 0
+        self.last_completion = None
+        self.migrations = 0
+        self.probe_result = None
+        self._iw = 10 * 1500.0     # modelled initial window (IW10)
+
+    # -- population -------------------------------------------------------
+
+    def _path(self, leaf):
+        if self.scenario == "incast":
+            return [self.topo.leaves[leaf], self.topo.core,
+                    self.topo.leaves[-1]]
+        return self.topo.path(leaf)
+
+    def _rtt(self, links):
+        return 2.0 * sum(link.delay for link in links)
+
+    def _wire(self, cohort):
+        cohort.on_flow_complete = self._on_flow_complete
+        if self.scenario == "failover_storm":
+            cohort.on_stall = self._on_stall
+
+    def _start_cohort(self, leaf, count):
+        links = self._path(leaf)
+        cohort = FluidCohort(
+            links, [self.flow_bytes] * count, rtt=self._rtt(links),
+            cwnd=self._iw, label="leaf%d-w%d" % (leaf, self.cohorts_started))
+        cohort.leaf = leaf
+        self._wire(cohort)
+        self.cohorts_started += 1
+        self.engine.add_cohort(cohort)
+
+    def _on_flow_complete(self, _cohort, newly):
+        self.flows_completed += newly
+        self.last_completion = self.sim.now
+
+    # -- failover storm ---------------------------------------------------
+
+    def _on_stall(self, cohort):
+        # The outage-detection delay models the user timeout the packet
+        # stack would need before declaring the path dead.
+        self.sim.schedule(self.detect_delay, self._migrate, cohort)
+
+    def _migrate(self, cohort):
+        if cohort.done or cohort.stalled_at is None:
+            return
+        if cohort not in self.engine.cohorts:
+            return
+        self.engine.remove_cohort(cohort)
+        remaining = [s - cohort.served
+                     for s in cohort.sizes[cohort.completed:]]
+        if not remaining:
+            return
+        links = [self.topo.leaves[cohort.leaf], self.topo.backup]
+        moved = FluidCohort(links, remaining, rtt=self._rtt(links),
+                            cwnd=self._iw, label=cohort.label + "-bk")
+        moved.leaf = cohort.leaf
+        self._wire(moved)
+        self.migrations += 1
+        self.engine.add_cohort(moved)
+
+    # -- probe ------------------------------------------------------------
+
+    def _probe(self):
+        core = self.topo.core
+        util = 0.0
+        rate_rtt = []
+        bottleneck = (self.topo.leaves[-1] if self.scenario == "incast"
+                      else core)
+        for cohort in self.engine.cohorts:
+            if cohort.done:
+                continue
+            if bottleneck in cohort.links:
+                util += cohort.rate * cohort.active_flows * 8.0
+            rate_rtt.append(cohort.rate * cohort.rtt)
+        capacity = float(bottleneck.rate_bps or 0.0)
+        self.probe_result = {
+            "time": round(self.sim.now, 9),
+            "active_cohorts": sum(1 for c in self.engine.cohorts
+                                  if not c.done),
+            "bottleneck_utilization": (round(util / capacity, 6)
+                                       if capacity else None),
+            "jain_rate_x_rtt": _jain(rate_rtt),
+        }
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self):
+        schedule = build_wave_schedule(
+            self.flows, self.waves, self.wave_interval)
+        # Group the per-flow schedule into one cohort per (wave, leaf).
+        groups = {}
+        for t, index in schedule:
+            key = (t, index % self.leaves)
+            groups[key] = groups.get(key, 0) + 1
+        for (t, leaf), count in sorted(groups.items()):
+            self.sim.schedule(t, self._start_cohort, leaf, count)
+        self.sim.schedule(self.t_probe, self._probe)
+        if self.scenario == "failover_storm":
+            self.sim.schedule(self.fail_at, self.topo.core.set_up, False)
+        self.sim.run(until=self.horizon)
+        return self.metrics()
+
+    def metrics(self):
+        engine = self.engine
+        links = {link.name: {"tx_bytes": link.stats.tx_bytes,
+                             "tx_packets": link.stats.tx_packets}
+                 for link in self.topo.links()}
+        return {
+            "scenario": self.scenario,
+            "flows": self.flows,
+            "flows_completed": self.flows_completed,
+            "cohorts": self.cohorts_started,
+            "migrations": self.migrations,
+            "stalls": engine.stalls,
+            "last_completion": (round(self.last_completion, 9)
+                                if self.last_completion is not None
+                                else None),
+            "sim_elapsed": round(self.sim.now, 9),
+            "bytes_total": int(self.flows_completed * self.flow_bytes),
+            "probe": self.probe_result,
+            "fluid_leaps": engine.leaps,
+            "fluid_leapt_time": round(engine.leapt_time, 9),
+            "fluid_solves": engine.solves,
+            "fluid_events": engine.events,
+            "heap_compactions": self.sim.compactions,
+            "train_peels": self.sim.train_peels,
+            "links": links,
+        }
+
+
+def run_fluid_scenario(**kwargs):
+    """Run one fluid population scenario; returns its metrics dict.
+
+    Top-level (picklable) so sweep workers can fan scenarios out in
+    parallel next to the packet C1M shards.
+    """
+    return FluidScenarioHarness(**kwargs).run()
+
+
+def fluid_scenario_points(flows=100_000, **kwargs):
+    """One sweep point per fluid scenario at ``flows`` scale."""
+    from repro.perf.sweep import SweepPoint
+
+    points = []
+    for scenario in FluidScenarioHarness.SCENARIOS:
+        cfg = dict(kwargs)
+        cfg.update(scenario=scenario, flows=flows)
+        points.append(SweepPoint(
+            "fluid/%s" % scenario, run_fluid_scenario, cfg))
+    return points
 
 
 def run_shard(**kwargs):
@@ -391,6 +659,7 @@ def merge_shards(results):
         "peak_concurrent_sessions": 0, "table_peak": 0,
         "table_end": 0, "sessions_end": 0, "bytes_delivered": 0,
         "budget_pauses": 0, "retired": 0,
+        "heap_compactions": 0, "train_peels": 0, "fluid_leaps": 0,
     }
     hs_p99 = []
     tr_p99 = []
@@ -402,6 +671,8 @@ def merge_shards(results):
                     "sessions_end", "bytes_delivered", "budget_pauses",
                     "retired"):
             total[key] += result[key]
+        for key in ("heap_compactions", "train_peels", "fluid_leaps"):
+            total[key] += result.get(key, 0)
         for key in ("peak_concurrent_sessions", "table_peak"):
             total[key] += result[key]
         if result["handshake_latency"]["p99"] is not None:
@@ -420,4 +691,13 @@ def merge_shards(results):
     return total
 
 
-__all__ = ["LoadgenHarness", "merge_shards", "run_shard", "shard_points"]
+__all__ = [
+    "FluidScenarioHarness",
+    "LoadgenHarness",
+    "build_wave_schedule",
+    "fluid_scenario_points",
+    "merge_shards",
+    "run_fluid_scenario",
+    "run_shard",
+    "shard_points",
+]

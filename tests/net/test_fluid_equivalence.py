@@ -1,0 +1,160 @@
+"""Fluid-vs-packet equivalence on the fig7/fig8/fig9 shapes.
+
+Runs the same seeded download twice -- once pure packet-level, once
+with the bulk bytes riding the fluid fast-forward engine -- and
+asserts the hybrid contract:
+
+* **bytes are exact**: both modes deliver the identical byte total
+  (the 1%% acceptance tolerance is trivially met);
+* **discrete events are exact**: handshakes, joins, connection
+  failures, failovers, SYNCs and stream closes stay packet-level in
+  fluid mode, so both endpoints emit the *same ordered sequence* of
+  session/recovery events (record-level events are excluded by
+  construction: sealing fewer records is the whole point);
+* **completion times agree** within the documented tolerance
+  (DESIGN.md section 8): the fluid model serves at the converged fair
+  share immediately instead of replaying every cwnd oscillation.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                         "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import common    # noqa: E402
+
+from repro.net import Simulator, build_faulty_multipath    # noqa: E402
+from repro.net.fluid import attach_download_fluid          # noqa: E402
+from repro.obs.bus import CaptureSink                      # noqa: E402
+
+pytestmark = pytest.mark.fluid
+
+SIZE = 4 << 20
+
+#: the discrete-event vocabulary both modes must agree on, with the
+#: payload fields that are mode-independent (timestamps and record
+#: counters are not).
+KEEP = {
+    ("session", "ready"): (),
+    ("session", "conn_established"): ("conn",),
+    ("session", "conn_failed"): ("conn",),
+    ("session", "join"): ("conn",),
+    ("session", "failover_enabled"): (),
+    ("session", "stream_created"): ("stream",),
+    ("session", "stream_steered"): ("stream",),
+    ("session", "stream_closed"): ("stream",),
+    ("session", "closed"): (),
+    ("recovery", "failover"): ("from", "to"),
+    ("recovery", "failover_pending"): ("conn",),
+    ("recovery", "sync_received"): ("failed",),
+}
+
+
+def event_sequences(sink):
+    """Per-role ordered (name, fields) sequences of the kept events."""
+    out = {"client": [], "server": []}
+    for event in sink.events:
+        spec = KEEP.get((event.category, event.name))
+        if spec is None:
+            continue
+        fields = tuple((f, event.data.get(f)) for f in spec)
+        out[event.data["role"]].append((event.name, fields))
+    return out
+
+
+def run_download(mode, fault=None, size=SIZE, uto=0.25,
+                 client_kwargs=None, auto_uto=None, horizon=40.0):
+    sim = Simulator(seed=8)
+    topo = build_faulty_multipath(sim, n_paths=2)
+    sink = CaptureSink()
+    sim.bus.subscribe(sink, categories=["session", "recovery"])
+    client, sessions, probe, done = common.build_tcpls_download(
+        sim, topo, size, uto=uto, client_kwargs=client_kwargs)
+    if auto_uto is not None:
+        client.auto_user_timeout = auto_uto
+    if fault is not None:
+        fault(topo)
+    if mode == "fluid":
+        def try_attach():
+            if sessions and client.ready:
+                attach_download_fluid(sim, topo, sessions[0], client)
+            else:
+                sim.schedule(0.005, try_attach)
+        sim.schedule(0.0, try_attach)
+    sim.run(until=horizon)
+    return {
+        "bytes": probe.total,
+        "done": done[0] if done else None,
+        "events": event_sequences(sink),
+        "leaps": sim.fluid_leaps,
+        "leapt_time": sim.fluid_leapt_time,
+        "failovers": sum(s.stats["failovers"] for s in sessions)
+        + client.stats["failovers"],
+    }
+
+
+def assert_equivalent(packet, fluid, done_tolerance):
+    assert packet["done"] is not None
+    assert fluid["done"] is not None
+    # Bytes are exact (well inside the 1% acceptance tolerance).
+    assert fluid["bytes"] == packet["bytes"] == SIZE
+    # Every discrete event matches exactly, per endpoint, in order.
+    assert fluid["events"]["client"] == packet["events"]["client"]
+    assert fluid["events"]["server"] == packet["events"]["server"]
+    # The fluid run actually fast-forwarded.
+    assert fluid["leaps"] > 0
+    assert packet["leaps"] == 0
+    drift = abs(fluid["done"] - packet["done"]) / packet["done"]
+    assert drift <= done_tolerance, (
+        "completion drift %.3f%% exceeds %.1f%% (packet %.3fs, fluid %.3fs)"
+        % (drift * 100, done_tolerance * 100, packet["done"],
+           fluid["done"]))
+
+
+def test_plain_download_equivalence():
+    """fig7 shape: one path, no faults."""
+    packet = run_download("packet")
+    fluid = run_download("fluid")
+    assert_equivalent(packet, fluid, done_tolerance=0.02)
+    # (The teardown after ``done`` abandons the idle primary on both
+    # sides identically; the download itself never fails over.)
+    assert fluid["failovers"] == packet["failovers"]
+    # The bulk of the transfer was leapt, not simulated.
+    assert fluid["leapt_time"] > 0.5 * fluid["done"]
+
+
+def test_blackhole_failover_equivalence():
+    """fig8 shape: the active path blackholes mid-transfer; the UTO
+    fires and the session fails over to the second path."""
+    def fault(topo):
+        topo.flap_path(0, at=0.3)
+
+    packet = run_download("packet", fault=fault)
+    fluid = run_download("fluid", fault=fault)
+    assert_equivalent(packet, fluid, done_tolerance=0.10)
+    assert packet["failovers"] > 0
+    assert fluid["failovers"] == packet["failovers"]
+
+
+def test_rotating_outage_equivalence():
+    """fig9 shape (mild rotation): exactly one working path, rotating;
+    every rotation forces a failover in both modes."""
+    def fault(topo):
+        topo.rotate_working(2.0, start=2.0)
+
+    kwargs = dict(fault=fault, uto=None, auto_uto=0.25,
+                  client_kwargs={"join_timeout": 0.5})
+    packet = run_download("packet", **kwargs)
+    fluid = run_download("fluid", **kwargs)
+    assert_equivalent(packet, fluid, done_tolerance=0.10)
+    assert packet["failovers"] > 0
+
+
+def test_fluid_download_is_deterministic():
+    runs = [run_download("fluid") for _ in range(2)]
+    assert runs[0] == runs[1]

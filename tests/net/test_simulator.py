@@ -268,3 +268,24 @@ def test_contended_train_reenters_heap_for_interleaved_event():
     sim.run()
     assert fired == ["t1", "solo", "t2"]
     assert sim.train_peels == 0  # the follower had to re-enter the heap
+
+
+def test_min_compact_is_per_instance():
+    from repro.net.simulator import MIN_COMPACT
+
+    # An aggressive threshold compacts after a handful of cancels...
+    eager = Simulator(min_compact=4)
+    assert eager.min_compact == 4
+    events = [eager.schedule(1.0 + i, lambda: None) for i in range(10)]
+    for event in events[:5]:
+        event.cancel()
+    assert eager.compactions >= 1
+
+    # ...while the default instance keeps the module-level threshold
+    # and stays untouched by the other instance's setting.
+    lazy = Simulator()
+    assert lazy.min_compact == MIN_COMPACT
+    events = [lazy.schedule(1.0 + i, lambda: None) for i in range(10)]
+    for event in events[:5]:
+        event.cancel()
+    assert lazy.compactions == 0

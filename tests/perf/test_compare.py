@@ -1,0 +1,63 @@
+"""The benchmark regression gate (``benchmarks/compare.py``).
+
+A bench present in the new run but absent from the baseline must be
+reported as *new* and never fail the gate (it gets its first baseline
+on the next refresh); real regressions must still exit nonzero.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                         "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import compare    # noqa: E402
+
+
+def write(tmp_path, name, benches):
+    path = tmp_path / name
+    path.write_text(json.dumps(
+        {"benchmarks": [{"name": n, "min": v, "mean": v}
+                        for n, v in benches.items()]}))
+    return str(path)
+
+
+def test_new_bench_without_baseline_passes(tmp_path, capsys):
+    baseline = write(tmp_path, "base.json", {"old": 1.0})
+    new = write(tmp_path, "new.json", {"old": 1.0, "brand_new": 5.0})
+    assert compare.main([baseline, new]) == 0
+    out = capsys.readouterr().out
+    assert "brand_new" in out
+    assert "(new: no baseline yet)" in out
+    assert "1 new" in out
+
+
+def test_only_new_benches_passes(tmp_path):
+    baseline = write(tmp_path, "base.json", {})
+    new = write(tmp_path, "new.json", {"a": 1.0, "b": 2.0})
+    assert compare.main([baseline, new]) == 0
+
+
+def test_regression_still_fails(tmp_path, capsys):
+    baseline = write(tmp_path, "base.json", {"bench": 1.0})
+    new = write(tmp_path, "new.json", {"bench": 2.0, "extra": 1.0})
+    assert compare.main([baseline, new]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_within_threshold_passes(tmp_path):
+    baseline = write(tmp_path, "base.json", {"bench": 1.0})
+    new = write(tmp_path, "new.json", {"bench": 1.1})
+    assert compare.main([baseline, new]) == 0
+
+
+def test_removed_bench_is_reported_but_passes(tmp_path, capsys):
+    baseline = write(tmp_path, "base.json", {"gone": 1.0, "kept": 1.0})
+    new = write(tmp_path, "new.json", {"kept": 1.0})
+    assert compare.main([baseline, new]) == 0
+    assert "removed" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""The fluid population scenarios (:mod:`repro.perf.loadgen`).
+
+Covers the hoisted wave-schedule builder both harnesses share, and the
+three 100k-class fluid scenarios at a scaled-down population: clean
+completion, determinism, conservation at the probe, and the
+failover-storm stall/migrate accounting.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.loadgen import (
+    FluidScenarioHarness,
+    build_wave_schedule,
+    run_fluid_scenario,
+)
+
+pytestmark = pytest.mark.fluid
+
+FLOWS = 20_000
+
+
+def test_wave_schedule_is_deterministic_and_covers_every_index():
+    schedule = build_wave_schedule(100, waves=7, wave_interval=0.05)
+    assert schedule == build_wave_schedule(100, waves=7, wave_interval=0.05)
+    assert [i for _, i in schedule] == list(range(100))
+    times = [t for t, _ in schedule]
+    assert times == sorted(times)
+    assert times[0] == 0.0
+    # ceil(100/7)=15 per wave -> indices 0..14 in wave 0, etc.
+    assert times[14] == 0.0 and times[15] == pytest.approx(0.05)
+    # Short population: one per wave (ceil(3/20) = 1).
+    assert build_wave_schedule(3, waves=20, wave_interval=0.05) == [
+        (0.0, 0), (0.05, 1), (0.1, 2)]
+
+
+def test_wave_schedule_honours_start_offset():
+    schedule = build_wave_schedule(10, waves=2, wave_interval=0.1, start=5.0)
+    assert schedule[0] == (5.0, 0)
+    assert schedule[-1] == (pytest.approx(5.1), 9)
+
+
+@pytest.mark.parametrize("scenario", FluidScenarioHarness.SCENARIOS)
+def test_fluid_scenario_completes_all_flows(scenario):
+    metrics = run_fluid_scenario(scenario=scenario, flows=FLOWS)
+    assert metrics["flows_completed"] == FLOWS
+    assert metrics["bytes_total"] == FLOWS * 1_000_000
+    assert metrics["fluid_leaps"] > 0
+    assert metrics["last_completion"] is not None
+    # The event count is what makes 100k feasible: orders of magnitude
+    # below one-event-per-packet (the population alone would need
+    # millions).
+    assert metrics["fluid_events"] < 10_000
+
+
+def test_fluid_scenarios_are_deterministic():
+    for scenario in FluidScenarioHarness.SCENARIOS:
+        first = run_fluid_scenario(scenario=scenario, flows=2000)
+        second = run_fluid_scenario(scenario=scenario, flows=2000)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+
+def test_fairness_probe_shows_rtt_weighted_shares_on_saturated_core():
+    metrics = run_fluid_scenario(scenario="fairness", flows=FLOWS)
+    probe = metrics["probe"]
+    assert probe is not None
+    # The shared core is saturated and rate x rtt is equalised across
+    # the RTT-diverse groups (the 1/rtt weighting at work).
+    assert probe["bottleneck_utilization"] == pytest.approx(1.0, abs=1e-3)
+    assert probe["jain_rate_x_rtt"] == pytest.approx(1.0, abs=1e-3)
+
+
+def test_incast_probe_saturates_the_receiver_access_link():
+    metrics = run_fluid_scenario(scenario="incast", flows=FLOWS)
+    assert metrics["probe"]["bottleneck_utilization"] == \
+        pytest.approx(1.0, abs=1e-3)
+    # The receiver leaf carried every byte (plus nothing else did more).
+    links = metrics["links"]
+    receiver = max(links, key=lambda name: links[name]["tx_bytes"])
+    assert links[receiver]["tx_bytes"] >= metrics["bytes_total"] * 0.99
+
+
+def test_failover_storm_stalls_and_migrates_every_cohort():
+    metrics = run_fluid_scenario(scenario="failover_storm", flows=FLOWS)
+    assert metrics["stalls"] == metrics["cohorts"]
+    assert metrics["migrations"] == metrics["cohorts"]
+    assert metrics["flows_completed"] == FLOWS
+    # After the storm the backup core carried the remainder.
+    assert metrics["links"]["core-backup"]["tx_bytes"] > 0
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError):
+        FluidScenarioHarness(scenario="nope")
