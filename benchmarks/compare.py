@@ -73,6 +73,41 @@ def main(argv=None):
         print("%-48s %10.6fs %10.6fs %8.2fx%s"
               % (name[:48], old_value, new_value, ratio, flag))
 
+    # Page-load cells additionally carry simulated PLT percentiles in
+    # extra_info.  Sim time is deterministic, so these regress only when
+    # behaviour (not machine load) changes -- compare them at the same
+    # threshold, and always show the table for points that have them.
+    plt_rows = []
+    for name in sorted(set(baseline) & set(new)):
+        old_extra = baseline[name].get("extra_info") or {}
+        new_extra = new[name].get("extra_info") or {}
+        if "plt_p50" not in new_extra and "plt_p50" not in old_extra:
+            continue
+        row = [name]
+        for key in ("plt_p50", "plt_p95"):
+            old_value = old_extra.get(key)
+            new_value = new_extra.get(key)
+            row.append((key, old_value, new_value))
+            if old_value and new_value is not None:
+                ratio = new_value / old_value
+                if ratio > 1.0 + args.threshold:
+                    regressions.append((
+                        "%s[%s]" % (name, key), ratio,
+                        old_value, new_value))
+        plt_rows.append(row)
+    if plt_rows:
+        print("\npage-load time (simulated seconds):")
+        plt_header = "%-48s %10s %10s %10s %10s" % (
+            "benchmark", "p50 base", "p50 new", "p95 base", "p95 new")
+        print(plt_header)
+        print("-" * len(plt_header))
+        for name, p50, p95 in plt_rows:
+            def fmt(value):
+                return "%.4f" % value if value is not None else "-"
+            print("%-48s %10s %10s %10s %10s" % (
+                name[:48], fmt(p50[1]), fmt(p50[2]),
+                fmt(p95[1]), fmt(p95[2])))
+
     only_old = sorted(set(baseline) - set(new))
     only_new = sorted(set(new) - set(baseline))
     for name in only_old:

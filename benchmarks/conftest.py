@@ -56,7 +56,7 @@ def pytest_sessionfinish(session, exitstatus):
     benchmarks = getattr(bench_session, "benchmarks", None) or []
     entries = []
     for bench in benchmarks:
-        entries.append({
+        entry = {
             "name": getattr(bench, "name", "?"),
             "fullname": getattr(bench, "fullname", "?"),
             "mean": _bench_stat(bench, "mean"),
@@ -64,7 +64,13 @@ def pytest_sessionfinish(session, exitstatus):
             "stddev": _bench_stat(bench, "stddev"),
             "rounds": getattr(getattr(bench, "stats", None), "rounds",
                               None),
-        })
+        }
+        # Simulated-time metrics (e.g. the page-load percentiles the
+        # workload cells record) ride along for compare.py's PLT table.
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            entry["extra_info"] = dict(extra)
+        entries.append(entry)
     import json
 
     with open(json_path, "w") as handle:

@@ -131,6 +131,18 @@ def fluid_scenario_point(scenario="fairness", flows=20_000):
     return metrics
 
 
+def pageload_point(stack="tcpls", policy="round-robin", grid="ge-light"):
+    """Scaled-down page-load cell: a synthetic page burst over one
+    stack under one scheduling policy on a Gilbert-Elliott loss grid.
+    The full policy x stack x grid matrix lives in
+    ``bench_pageload.py``; this point keeps the workload layer (pool,
+    transfer manager, assign_transfer decisions) under the JOBS
+    determinism gate."""
+    from repro.perf.pageload import pageload_sweep_point
+
+    return pageload_sweep_point(stack=stack, policy=policy, grid=grid)
+
+
 def default_points():
     """The standard sweep, in canonical (merge) order."""
     from repro.perf import SweepPoint
@@ -152,4 +164,10 @@ def default_points():
         points.append(SweepPoint("fluid/%s" % scenario,
                                  fluid_scenario_point,
                                  {"scenario": scenario}))
+    for stack, policy in (("tcpls", "round-robin"),
+                          ("tcpls", "predictive"),
+                          ("quic", "round-robin")):
+        points.append(SweepPoint("pageload/%s/%s" % (stack, policy),
+                                 pageload_point,
+                                 {"stack": stack, "policy": policy}))
     return points

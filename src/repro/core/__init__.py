@@ -53,6 +53,9 @@ from repro.core.client import TcplsClient
 from repro.core.server import TcplsServer
 from repro.core.scheduler import (
     LowestRttScheduler,
+    Policy,
+    PredictivePolicy,
+    RecordContext,
     RedundantScheduler,
     RoundRobinScheduler,
     WeightedScheduler,
@@ -70,6 +73,9 @@ __all__ = [
     "RECORD_TYPE_STREAM_DATA",
     "RECORD_TYPE_SYNC",
     "RECORD_TYPE_TCP_OPTION",
+    "Policy",
+    "PredictivePolicy",
+    "RecordContext",
     "RedundantScheduler",
     "RoundRobinScheduler",
     "SessionNotReadyError",

@@ -1,98 +1,30 @@
-"""Record schedulers for coupled streams.
+"""Record schedulers for coupled streams (compatibility re-export).
 
-The paper exposes the sender-side record scheduler to the application
-(Sec. 3.3.3): TCPLS does not hide path choice behind a kernel policy
-the way MPTCP does.  These classes are the ready-made policies; an
-application can also pass any callable ``scheduler(streams) -> stream``.
-
-The evaluation uses round-robin (Sec. 5.1: "sends the records over the
-two TCP connections in a round-robin manner").
-
-Schedulers see only the :class:`~repro.core.engine.interfaces.Transport`
-surface of each stream's connection (``tcp_info``, ``bytes_in_flight``,
-``congestion_window``), so the same policy runs under any driver.
+The schedulers were promoted into the first-class policy layer in
+:mod:`repro.core.engine.policy`: a :class:`~repro.core.engine.policy.Policy`
+now owns *both* sender-side decision points -- per-record stream
+scheduling (``pick_stream``) and per-transfer connection placement
+(``assign_transfer``, used by the web-workload layer in
+:mod:`repro.workload`).  This module keeps the historical import path
+alive; an application can still pass any object with a
+``pick(streams) -> stream`` method as a scheduler.
 """
 
-
-class RoundRobinScheduler:
-    """Alternate over the coupled streams in order."""
-
-    name = "round-robin"
-
-    def __init__(self):
-        self._index = 0
-
-    def pick(self, streams):
-        if not streams:
-            raise ValueError("no streams to schedule")
-        stream = streams[self._index % len(streams)]
-        self._index += 1
-        return stream
-
-
-class LowestRttScheduler:
-    """MPTCP's default policy: prefer the lowest-SRTT connection with
-    congestion-window room; fall back to lowest SRTT."""
-
-    name = "lowest-rtt"
-
-    def pick(self, streams):
-        if not streams:
-            raise ValueError("no streams to schedule")
-
-        def srtt(stream):
-            info = stream.connection.tcp.tcp_info()
-            return info["srtt"] if info["srtt"] is not None else float("inf")
-
-        with_room = [
-            s for s in streams
-            if s.connection.tcp.bytes_in_flight()
-            < s.connection.tcp.congestion_window()
-        ]
-        candidates = with_room or list(streams)
-        return min(candidates, key=srtt)
-
-
-class WeightedScheduler:
-    """Deterministic weighted interleaving (weights per stream index)."""
-
-    name = "weighted"
-
-    def __init__(self, weights):
-        if not weights or any(w <= 0 for w in weights):
-            raise ValueError("weights must be positive")
-        self.weights = list(weights)
-        self._credit = list(weights)
-
-    def pick(self, streams):
-        if not streams:
-            raise ValueError("no streams to schedule")
-        for index, stream in enumerate(streams):
-            weight_index = index % len(self._credit)
-            if self._credit[weight_index] > 0:
-                self._credit[weight_index] -= 1
-                return stream
-        self._credit = [
-            self.weights[i % len(self.weights)]
-            for i in range(len(self._credit))
-        ]
-        return self.pick(streams)
-
-
-class RedundantScheduler:
-    """Send every record on every stream (latency-critical traffic;
-    the receiver's reorder buffer discards the duplicates)."""
-
-    name = "redundant"
-
-    def pick(self, streams):
-        if not streams:
-            raise ValueError("no streams to schedule")
-        return list(streams)
-
+from repro.core.engine.policy import (  # noqa: F401
+    LowestRttScheduler,
+    Policy,
+    PredictivePolicy,
+    RecordContext,
+    RedundantScheduler,
+    RoundRobinScheduler,
+    WeightedScheduler,
+)
 
 __all__ = [
     "LowestRttScheduler",
+    "Policy",
+    "PredictivePolicy",
+    "RecordContext",
     "RedundantScheduler",
     "RoundRobinScheduler",
     "WeightedScheduler",

@@ -26,7 +26,7 @@ from collections import deque
 
 from repro.core import record as rec
 from repro.core.errors import SessionNotReadyError
-from repro.core.engine.scheduler import RoundRobinScheduler
+from repro.core.engine.policy import RecordContext, RoundRobinScheduler
 from repro.core.stream import CoupledGroup, TcplsStream, control_stream_id
 from repro.crypto.aead import AeadAuthenticationError
 from repro.tls.record import RecordReassembler
@@ -733,6 +733,27 @@ class TcplsEngine:
             "records": len(wires), "bytes": total,
         })
 
+    def _pick_targets(self, group, candidates):
+        """Consult the group's policy for the next record's streams.
+
+        Replication is a declared capability
+        (:attr:`~repro.core.engine.policy.Policy.replicate`), not a
+        return-type convention: a replicating policy fans out to every
+        candidate, every other policy names exactly one stream.  Legacy
+        schedulers (any object with only ``pick``) still work; a policy
+        proper gets a :class:`~repro.core.engine.policy.RecordContext`.
+        """
+        policy = group.scheduler
+        if getattr(policy, "replicate", False):
+            return list(candidates)
+        pick_stream = getattr(policy, "pick_stream", None)
+        if pick_stream is not None:
+            picked = pick_stream(candidates, RecordContext(
+                group=group, session=self, now=self.clock.now))
+        else:
+            picked = policy.pick(candidates)
+        return [picked]
+
     def _pump_group(self, group):
         sent = False
         while (group.pending or
@@ -744,8 +765,7 @@ class TcplsEngine:
             ]
             if not candidates:
                 break
-            picked = group.scheduler.pick(candidates)
-            targets = picked if isinstance(picked, list) else [picked]
+            targets = self._pick_targets(group, candidates)
             if self.bus.wants("scheduler"):
                 self._emit("scheduler", "pick", {
                     "group": group.group_id,

@@ -1,14 +1,20 @@
 """Record schedulers for coupled streams (compatibility re-export).
 
-The implementations moved to :mod:`repro.core.engine.scheduler` with
-the sans-I/O split -- schedulers only consult the Transport surface
+The implementations moved to :mod:`repro.core.engine.policy` with the
+policy-layer promotion -- a :class:`~repro.core.engine.policy.Policy`
+owns both the per-record stream decision (``pick_stream``) and the
+per-transfer connection decision (``assign_transfer``) consulted by the
+web-workload layer.  Policies only consult the Transport surface
 (``tcp_info``, ``bytes_in_flight``, ``congestion_window``), so the same
 policies run under any driver.  This module keeps the historical import
 path alive.
 """
 
-from repro.core.engine.scheduler import (  # noqa: F401
+from repro.core.engine.policy import (  # noqa: F401
     LowestRttScheduler,
+    Policy,
+    PredictivePolicy,
+    RecordContext,
     RedundantScheduler,
     RoundRobinScheduler,
     WeightedScheduler,
@@ -16,6 +22,9 @@ from repro.core.engine.scheduler import (  # noqa: F401
 
 __all__ = [
     "LowestRttScheduler",
+    "Policy",
+    "PredictivePolicy",
+    "RecordContext",
     "RedundantScheduler",
     "RoundRobinScheduler",
     "WeightedScheduler",

@@ -27,6 +27,7 @@ from repro.obs.events import (
     CAT_SESSION,
     CAT_TCP,
     CAT_TLS,
+    CAT_WORKLOAD,
     Event,
 )
 from repro.obs.invariants import (
@@ -53,6 +54,7 @@ __all__ = [
     "CAT_SESSION",
     "CAT_TCP",
     "CAT_TLS",
+    "CAT_WORKLOAD",
     "CaptureSink",
     "CwndSanityChecker",
     "DEFAULT_CHECKERS",

@@ -35,9 +35,12 @@ CAT_PERF = "perf"
 #: Multi-session serving (repro.core.drivers.multi): connection-table
 #: gauges, attach/teardown accounting, backpressure pause/resume.
 CAT_MUX = "mux"
+#: Web-workload layer (repro.workload): page-object lifecycle
+#: (ready/start/done), pool assignment decisions, page-load-time.
+CAT_WORKLOAD = "workload"
 
 ALL_CATEGORIES = (CAT_TCP, CAT_TLS, CAT_SESSION, CAT_RECOVERY, CAT_LINK,
-                  CAT_SCHEDULER, CAT_PERF, CAT_MUX)
+                  CAT_SCHEDULER, CAT_PERF, CAT_MUX, CAT_WORKLOAD)
 
 
 class Event:

@@ -25,12 +25,23 @@ from repro.perf.loadgen import (
     run_shard,
     shard_points,
 )
+from repro.perf.pageload import (
+    PAGELOAD_GRIDS,
+    PAGELOAD_POLICIES,
+    PAGELOAD_STACKS,
+    make_policy,
+    pageload_sweep_point,
+    run_pageload_cell,
+)
 from repro.perf.sweep import SweepPoint, run_sweep, sweep_to_json
 from repro.perf.traincost import TrainCostAccountant, attach_train_accounting
 
 __all__ = [
     "CpuProfile",
     "LoadgenHarness",
+    "PAGELOAD_GRIDS",
+    "PAGELOAD_POLICIES",
+    "PAGELOAD_STACKS",
     "QuicModel",
     "QuicSenderModel",
     "SweepPoint",
@@ -39,7 +50,10 @@ __all__ = [
     "TlsTcpModel",
     "TrainCostAccountant",
     "attach_train_accounting",
+    "make_policy",
     "merge_shards",
+    "pageload_sweep_point",
+    "run_pageload_cell",
     "run_shard",
     "run_sweep",
     "shard_points",

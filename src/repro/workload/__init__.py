@@ -1,0 +1,59 @@
+"""Web-workload replay: page graphs, pools, transfers, fetchers.
+
+Real pages are dependency graphs of sized objects, and the page-load
+time a user sees depends on how the transport's scheduling policy maps
+the ready frontier of that graph onto connections.  This package
+replays such workloads deterministically inside the simulator:
+
+- :mod:`repro.workload.pages` -- :class:`PageSpec` dependency graphs
+  (synthetic generators + HAR-lite JSON loader);
+- :mod:`repro.workload.pool` -- per-host connection pooling with
+  idle-timeout and reuse/new/shared accounting;
+- :mod:`repro.workload.transfers` -- the :class:`TransferManager`
+  "browser" releasing objects as dependencies complete and consulting
+  :meth:`~repro.core.engine.policy.Policy.assign_transfer` per object;
+- :mod:`repro.workload.fetchers` -- TCPLS / QUIC / MPTCP backends
+  speaking the repo's sized-request protocol.
+
+Everything emits on the obs bus under the ``workload`` category, so a
+single capture yields per-object waterfalls and page-load times.
+"""
+
+from repro.workload.fetchers import (
+    MptcpPageFetcher,
+    QuicPageFetcher,
+    TcplsPageFetcher,
+    WORKLOAD_PSK,
+)
+from repro.workload.pages import (
+    PageObject,
+    PageSpec,
+    load_page,
+    page_from_dict,
+    synthetic_page,
+)
+from repro.workload.pool import (
+    Candidate,
+    ConnectionPool,
+    PooledConnection,
+    PoolView,
+)
+from repro.workload.transfers import Transfer, TransferManager
+
+__all__ = [
+    "Candidate",
+    "ConnectionPool",
+    "MptcpPageFetcher",
+    "PageObject",
+    "PageSpec",
+    "PoolView",
+    "PooledConnection",
+    "QuicPageFetcher",
+    "TcplsPageFetcher",
+    "Transfer",
+    "TransferManager",
+    "WORKLOAD_PSK",
+    "load_page",
+    "page_from_dict",
+    "synthetic_page",
+]

@@ -1,0 +1,408 @@
+"""The policy layer: both decision points, bus attribution, invariants.
+
+Covers the promotion of the record schedulers into
+:class:`~repro.core.engine.policy.Policy`:
+
+- every built-in policy stamps its ``name`` on the ``scheduler:pick``
+  bus events its decisions emit;
+- replication is the typed :attr:`~repro.core.engine.policy.Policy.replicate`
+  capability (the pump fans out; ``pick_stream`` returns one stream);
+- deficit-round-robin credit is keyed by stream *identity*, so emitted
+  ratios hold and credit survives candidate-list churn;
+- a hypothesis property: under any policy and any offered-stream
+  sequence, bytes pumped are conserved per stream (every chunk goes to
+  exactly one stream -- or all of them, for a replicating policy);
+- ``assign_transfer`` semantics per built-in over a stubbed pool view.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import connect_tcpls, make_net, tcpls_pair
+
+from repro.core.engine.policy import (
+    LowestRttScheduler,
+    Policy,
+    PredictivePolicy,
+    RecordContext,
+    RedundantScheduler,
+    RoundRobinScheduler,
+    WeightedScheduler,
+)
+from repro.obs import CaptureSink
+
+
+# -- stub transports for bare pick_stream calls ----------------------------
+
+
+class FakeTcp:
+    def __init__(self, srtt=0.02, cwnd=14600, inflight=0, unsent=0):
+        self._srtt = srtt
+        self._cwnd = cwnd
+        self._inflight = inflight
+        self._unsent = unsent
+
+    def tcp_info(self):
+        return {"srtt": self._srtt}
+
+    def congestion_window(self):
+        return self._cwnd
+
+    def bytes_in_flight(self):
+        return self._inflight
+
+    def unsent_bytes(self):
+        return self._unsent
+
+
+class FakeConn:
+    def __init__(self, tcp):
+        self.tcp = tcp
+
+
+class FakeStream:
+    def __init__(self, stream_id, srtt=0.02, cwnd=14600, inflight=0):
+        self.stream_id = stream_id
+        self.connection = FakeConn(FakeTcp(srtt, cwnd, inflight))
+
+    def __repr__(self):
+        return "FakeStream(%d)" % self.stream_id
+
+
+# -- stub pool view for assign_transfer ------------------------------------
+
+
+class FakeCandidate:
+    def __init__(self, kind, index, active=0, srtt=float("inf"),
+                 cwnd=15000.0, backlog=0.0):
+        self.kind = kind
+        self.index = index
+        self.active = active
+        self._srtt = srtt
+        self._cwnd = cwnd
+        self._backlog = backlog
+
+    def srtt(self):
+        return self._srtt
+
+    def cwnd(self):
+        return self._cwnd
+
+    def backlog_bytes(self):
+        return self._backlog
+
+
+class FakeView:
+    def __init__(self, candidates, typical=None):
+        self._candidates = candidates
+        self._typical = typical
+
+    def candidates(self):
+        return list(self._candidates)
+
+    def typical_srtt(self):
+        return self._typical
+
+
+class FakeTransfer:
+    def __init__(self, size=50_000):
+        self.size = size
+
+
+# -- bus attribution over a real coupled group -----------------------------
+
+
+def run_group_upload(scheduler, size=256 << 10):
+    """Upload over a 2-path coupled group; returns the captured events
+    plus (payload, received) for integrity checking."""
+    sim, topo, cstack, sstack = make_net()
+    client, server, sessions = tcpls_pair(sim, topo, cstack, sstack)
+    connect_tcpls(sim, topo, client)
+    client.join(topo.path(1).client_addr)
+    sim.run(until=sim.now + 0.2)
+    assert len(client.conns) == 2 and client.conns[1].usable()
+
+    capture = CaptureSink()
+    sim.bus.subscribe(capture, categories=("scheduler",))
+    received = bytearray()
+    done = []
+
+    def on_group_data(group):
+        received.extend(group.recv())
+        if group.complete:
+            done.append(sim.now)
+
+    sessions[0].on_group_data = on_group_data
+    group = client.create_coupled_group(client.alive_connections(),
+                                        scheduler=scheduler)
+    payload = bytes(range(256)) * (size // 256)
+    group.send(payload)
+    group.close()
+    sim.run(until=sim.now + 30)
+    assert done, "group upload did not complete"
+    assert bytes(received) == payload
+    return capture.select(category="scheduler", name="pick")
+
+
+ALL_BUILTINS = [
+    (RoundRobinScheduler, (), "round-robin"),
+    (LowestRttScheduler, (), "lowest-rtt"),
+    (WeightedScheduler, ([3, 1],), "weighted"),
+    (RedundantScheduler, (), "redundant"),
+    (PredictivePolicy, (), "predictive"),
+]
+
+
+class TestBusAttribution:
+    @pytest.mark.parametrize("cls,args,expected",
+                             ALL_BUILTINS,
+                             ids=[b[2] for b in ALL_BUILTINS])
+    def test_pick_events_carry_policy_name(self, cls, args, expected):
+        picks = run_group_upload(cls(*args))
+        assert picks, "no scheduler pick events captured"
+        assert all(e.data["scheduler"] == expected for e in picks)
+        assert all(e.data["candidates"] >= 1 for e in picks)
+
+    def test_redundant_pick_events_list_every_stream(self):
+        picks = run_group_upload(RedundantScheduler())
+        two_candidate_picks = [e for e in picks
+                               if e.data["candidates"] == 2]
+        assert two_candidate_picks, "never saw both streams sendable"
+        for event in two_candidate_picks:
+            assert len(event.data["streams"]) == 2
+
+    def test_single_target_policies_emit_one_stream(self):
+        picks = run_group_upload(RoundRobinScheduler())
+        assert all(len(e.data["streams"]) == 1 for e in picks)
+
+    def test_legacy_pick_only_scheduler_still_works(self):
+        class LegacyScheduler:
+            """Pre-policy surface: only ``pick``, no name."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def pick(self, streams):
+                self.calls += 1
+                return streams[self.calls % len(streams)]
+
+        legacy = LegacyScheduler()
+        picks = run_group_upload(legacy)
+        assert legacy.calls > 0
+        assert all(e.data["scheduler"] == "custom" for e in picks)
+
+
+# -- the replicate capability ----------------------------------------------
+
+
+class TestReplicateCapability:
+    def test_flags(self):
+        assert RedundantScheduler.replicate is True
+        for cls, args, _name in ALL_BUILTINS:
+            if cls is not RedundantScheduler:
+                assert cls(*args).replicate is False
+
+    def test_pick_stream_returns_single_stream(self):
+        streams = [FakeStream(1), FakeStream(3)]
+        picked = RedundantScheduler().pick_stream(streams)
+        assert picked is streams[0]
+
+    def test_legacy_pick_returns_all(self):
+        streams = [FakeStream(1), FakeStream(3)]
+        assert RedundantScheduler().pick(streams) == streams
+
+
+# -- deficit round robin ----------------------------------------------------
+
+
+class TestWeightedDrr:
+    def test_emitted_ratio_3_to_1(self):
+        sched = WeightedScheduler([3, 1])
+        streams = [FakeStream(1), FakeStream(3)]
+        picks = [sched.pick_stream(streams).stream_id for _ in range(8)]
+        assert picks == [1, 1, 1, 3, 1, 1, 1, 3]
+
+    def test_emitted_ratio_2_to_1(self):
+        sched = WeightedScheduler([2, 1])
+        streams = [FakeStream(1), FakeStream(3)]
+        picks = [sched.pick_stream(streams).stream_id for _ in range(6)]
+        assert picks == [1, 1, 3, 1, 1, 3]
+
+    def test_credit_keyed_by_identity_survives_churn(self):
+        sched = WeightedScheduler([3, 1])
+        a, b = FakeStream(1), FakeStream(3)
+        # Refill gives a=3, b=1; two picks leave a=1, b=1.
+        assert sched.pick_stream([a, b]) is a
+        assert sched.pick_stream([a, b]) is a
+        # a drops out; b spends ITS earned credit, not a's leftovers.
+        assert sched.pick_stream([b]) is b
+        assert sched._credit == {3: 0}
+        # a's stale credit was pruned: on return the round refills both.
+        assert sched.pick_stream([a, b]) is a
+
+    def test_stale_credit_never_resurrects(self):
+        sched = WeightedScheduler([5, 1])
+        a, b = FakeStream(1), FakeStream(3)
+        for _ in range(3):
+            sched.pick_stream([a, b])
+        assert sched._credit[1] > 0
+        # A successor stream re-using the candidate SLOT (but not the
+        # id) must not inherit a's balance.
+        c = FakeStream(7)
+        picked = sched.pick_stream([c, b])
+        assert 1 not in sched._credit
+        assert picked in (b, c)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            WeightedScheduler([])
+        with pytest.raises(ValueError):
+            WeightedScheduler([1, 0])
+
+
+# -- byte conservation under any policy ------------------------------------
+
+
+def _policy_instances():
+    return [
+        RoundRobinScheduler(),
+        LowestRttScheduler(),
+        WeightedScheduler([3, 1]),
+        WeightedScheduler([1, 2, 5]),
+        RedundantScheduler(),
+        PredictivePolicy(rate_cap_bps=25_000_000),
+    ]
+
+
+class TestByteConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        policy_index=st.integers(min_value=0, max_value=5),
+        chunks=st.lists(st.integers(min_value=1, max_value=16384),
+                        min_size=1, max_size=40),
+        offered=st.lists(
+            st.sets(st.integers(min_value=0, max_value=3),
+                    min_size=1, max_size=4),
+            min_size=1, max_size=40),
+    )
+    def test_every_chunk_lands_on_exactly_the_picked_streams(
+            self, policy_index, chunks, offered):
+        """Model the pump: each chunk is offered to the policy over an
+        arbitrary live subset of four streams.  Whatever the policy
+        does, per-stream byte counts must sum to the bytes pumped
+        (times fan-out for a replicating policy), and every pick must
+        come from the offered list."""
+        policy = _policy_instances()[policy_index]
+        streams = [FakeStream(i, srtt=0.01 * (i + 1)) for i in range(4)]
+        sent = {s.stream_id: 0 for s in streams}
+        total = 0
+        for chunk, live in zip(chunks, offered):
+            candidates = [streams[i] for i in sorted(live)]
+            if getattr(policy, "replicate", False):
+                targets = list(candidates)
+            else:
+                targets = [policy.pick_stream(
+                    candidates, RecordContext(now=0.0))]
+            for target in targets:
+                assert target in candidates
+                sent[target.stream_id] += chunk
+            total += chunk * len(targets)
+        assert sum(sent.values()) == total
+
+
+# -- assign_transfer (decision point 2) ------------------------------------
+
+
+class TestAssignTransfer:
+    def test_default_prefers_reuse_then_new_then_least_loaded(self):
+        reuse = FakeCandidate("reuse", 0)
+        new = FakeCandidate("new", 2)
+        busy = FakeCandidate("share", 1, active=3)
+        idle_ish = FakeCandidate("share", 3, active=1)
+        policy = LowestRttScheduler()     # inherits the default? no --
+        # LowestRtt overrides; use the base class explicitly.
+        base = Policy()
+        assert base.assign_transfer(
+            FakeTransfer(), FakeView([busy, new, reuse])) is reuse
+        assert base.assign_transfer(
+            FakeTransfer(), FakeView([busy, new])) is new
+        assert base.assign_transfer(
+            FakeTransfer(), FakeView([busy, idle_ish])) is idle_ish
+        with pytest.raises(ValueError):
+            base.assign_transfer(FakeTransfer(), FakeView([]))
+        assert policy is not base    # (guard against accidental reuse)
+
+    def test_round_robin_rotates_over_candidates(self):
+        policy = RoundRobinScheduler()
+        a = FakeCandidate("reuse", 0)
+        b = FakeCandidate("share", 1, active=1)
+        picks = [policy.assign_transfer(FakeTransfer(), FakeView([a, b]))
+                 for _ in range(4)]
+        assert picks == [a, b, a, b]
+
+    def test_lowest_rtt_prefers_measured_minimum(self):
+        policy = LowestRttScheduler()
+        fast = FakeCandidate("share", 0, active=1, srtt=0.01)
+        slow = FakeCandidate("reuse", 1, srtt=0.05)
+        fresh = FakeCandidate("new", 2)
+        assert policy.assign_transfer(
+            FakeTransfer(), FakeView([slow, fast, fresh])) is fast
+
+    def test_predictive_picks_earliest_estimated_finish(self):
+        policy = PredictivePolicy(rate_cap_bps=25_000_000)
+        fast = FakeCandidate("share", 0, active=1, srtt=0.02,
+                             cwnd=100_000.0, backlog=0.0)
+        loaded = FakeCandidate("share", 1, active=1, srtt=0.02,
+                               cwnd=100_000.0, backlog=5_000_000.0)
+        choice = policy.assign_transfer(
+            FakeTransfer(200_000), FakeView([loaded, fast]))
+        assert choice is fast
+        assert len(policy.last_estimates) == 2
+
+    def test_predictive_models_new_connection_via_typical_srtt(self):
+        policy = PredictivePolicy(rate_cap_bps=25_000_000)
+        # A deeply backlogged existing connection vs. a fresh one on a
+        # 20 ms path: opening wins despite the handshake penalty.
+        swamped = FakeCandidate("share", 0, active=4, srtt=0.02,
+                                cwnd=30_000.0, backlog=50_000_000.0)
+        fresh = FakeCandidate("new", 1)
+        choice = policy.assign_transfer(
+            FakeTransfer(40_000), FakeView([swamped, fresh],
+                                           typical=0.02))
+        assert choice is fresh
+
+    def test_predictive_falls_back_when_nothing_measured(self):
+        policy = PredictivePolicy()
+        fresh = FakeCandidate("new", 0)
+        # No typical SRTT either: the base reuse>new>share order rules.
+        choice = policy.assign_transfer(
+            FakeTransfer(), FakeView([fresh], typical=None))
+        assert choice is fresh
+
+
+class TestPredictiveEstimator:
+    def test_estimate_scales_with_size(self):
+        policy = PredictivePolicy(rate_cap_bps=25_000_000)
+        small = policy.estimate_completion(10_000, 0.02, 14600)
+        large = policy.estimate_completion(1_000_000, 0.02, 14600)
+        assert 0 < small < large
+
+    def test_backlog_delays_completion(self):
+        policy = PredictivePolicy(rate_cap_bps=25_000_000)
+        clear = policy.estimate_completion(100_000, 0.02, 14600)
+        queued = policy.estimate_completion(100_000, 0.02, 14600,
+                                            backlog=1_000_000)
+        assert queued > clear
+
+    def test_unmeasured_path_is_inf(self):
+        policy = PredictivePolicy()
+        assert policy.estimate_completion(1000, None, 14600) \
+            == float("inf")
+        assert policy.estimate_completion(1000, float("inf"), 14600) \
+            == float("inf")
+
+    def test_horizon_bounds_the_forked_clock(self):
+        policy = PredictivePolicy(rate_cap_bps=1000, horizon=5.0)
+        assert policy.estimate_completion(10 << 20, 0.5, 1500.0) \
+            == float("inf")

@@ -1,0 +1,101 @@
+"""End-to-end page loads over the real stacks + cell determinism."""
+
+import pytest
+
+from repro.net import Simulator, build_faulty_multipath
+from repro.core.engine.policy import (
+    PredictivePolicy,
+    RoundRobinScheduler,
+)
+from repro.perf.pageload import run_pageload_cell
+from repro.workload import (
+    MptcpPageFetcher,
+    QuicPageFetcher,
+    TcplsPageFetcher,
+    TransferManager,
+    synthetic_page,
+)
+
+pytestmark = pytest.mark.workload
+
+
+def load_one_page(make_fetcher, policy, n_objects=15, horizon=30.0):
+    sim = Simulator(seed=11)
+    topo = build_faulty_multipath(sim, n_paths=2)
+    fetcher = make_fetcher(sim, topo)
+    pool = fetcher.pool(bus=sim.bus)
+    page = synthetic_page(seed=2, n_objects=n_objects)
+    manager = TransferManager(page, pool, policy, sim, fetcher.fetch,
+                              bus=sim.bus)
+    fetcher.connect(manager.start)
+    sim.run(until=horizon)
+    return manager, pool
+
+
+FETCHERS = [
+    ("tcpls", lambda sim, topo: TcplsPageFetcher(sim, topo, n_paths=2)),
+    ("quic", lambda sim, topo: QuicPageFetcher(sim, topo)),
+    ("mptcp", lambda sim, topo: MptcpPageFetcher(sim, topo, n_paths=2)),
+]
+
+
+class TestFetchers:
+    @pytest.mark.parametrize("name,make", FETCHERS,
+                             ids=[f[0] for f in FETCHERS])
+    def test_page_completes(self, name, make):
+        manager, pool = load_one_page(make, RoundRobinScheduler())
+        assert manager.done
+        assert manager.plt is not None and 0 < manager.plt < 30
+        assert pool.stats()["opened"] >= 1
+
+    @pytest.mark.parametrize("name,make", FETCHERS,
+                             ids=[f[0] for f in FETCHERS])
+    def test_page_completes_under_predictive(self, name, make):
+        manager, _pool = load_one_page(
+            make, PredictivePolicy(rate_cap_bps=25_000_000))
+        assert manager.done
+
+    def test_tcpls_uses_both_paths(self):
+        manager, pool = load_one_page(
+            lambda sim, topo: TcplsPageFetcher(sim, topo, n_paths=2),
+            RoundRobinScheduler(), n_objects=20)
+        assert manager.done
+        # Round-robin transfer placement opens (= adopts) both session
+        # connections and spreads objects across them.
+        assert pool.stats()["opened"] == 2
+        conns = {t.entry.index for t in manager.transfers.values()}
+        assert conns == {0, 1}
+
+    def test_mptcp_pool_is_serial(self):
+        manager, pool = load_one_page(
+            lambda sim, topo: MptcpPageFetcher(sim, topo, n_paths=2),
+            RoundRobinScheduler(), n_objects=20)
+        assert manager.done
+        stats = pool.stats()
+        assert stats["shared"] == 0          # capacity-1 connections
+        assert stats["reused"] > 0
+
+
+class TestCellDeterminism:
+    def test_same_config_same_metrics(self):
+        kwargs = dict(stack="tcpls", policy="predictive", grid="ge-light",
+                      pages=2, waves=2, n_objects=10, horizon=60.0)
+        assert run_pageload_cell(**kwargs) == run_pageload_cell(**kwargs)
+
+    def test_policies_change_outcomes(self):
+        plts = {}
+        for policy in ("round-robin", "lowest-rtt"):
+            metrics = run_pageload_cell(
+                stack="tcpls", policy=policy, grid="ge-light",
+                pages=2, waves=2, n_objects=10, horizon=60.0)
+            assert metrics["pages_completed"] == 2
+            plts[policy] = metrics["plt_samples"]
+        assert plts["round-robin"] != plts["lowest-rtt"]
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            run_pageload_cell(stack="carrier-pigeon")
+        with pytest.raises(ValueError):
+            run_pageload_cell(policy="oracle")
+        with pytest.raises(ValueError):
+            run_pageload_cell(grid="hurricane")

@@ -1,0 +1,175 @@
+"""Connection pool: candidates, accounting, idle expiry, limits."""
+
+import pytest
+
+from repro.workload.pool import ConnectionPool
+
+pytestmark = pytest.mark.workload
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeHandle:
+    def __init__(self, host):
+        self.host = host
+        self.closed = False
+        self._srtt = 0.02
+
+    def srtt(self):
+        return self._srtt
+
+    def cwnd(self):
+        return 20_000.0
+
+    def backlog_bytes(self):
+        return 123.0
+
+    def close(self):
+        self.closed = True
+
+
+def make_pool(max_per_host=2, capacity=2, idle_timeout=10.0):
+    clock = FakeClock()
+    made = []
+
+    def factory(host):
+        handle = FakeHandle(host)
+        made.append(handle)
+        return handle
+
+    pool = ConnectionPool(clock, factory, max_per_host=max_per_host,
+                          capacity=capacity, idle_timeout=idle_timeout)
+    return pool, clock, made
+
+
+class TestCandidates:
+    def test_fresh_pool_offers_only_new(self):
+        pool, _clock, _made = make_pool()
+        view = pool.view("h")
+        kinds = [c.kind for c in view.candidates()]
+        assert kinds == ["new"]
+
+    def test_idle_connection_offers_reuse(self):
+        pool, _clock, _made = make_pool()
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        pool.release(entry)
+        kinds = [c.kind for c in pool.view("h").candidates()]
+        assert kinds == ["reuse", "new"]
+
+    def test_partially_busy_offers_share(self):
+        pool, _clock, _made = make_pool(capacity=2)
+        pool.checkout(pool.view("h").candidates()[0])
+        kinds = [c.kind for c in pool.view("h").candidates()]
+        assert kinds == ["share", "new"]
+
+    def test_full_connection_not_offered(self):
+        pool, _clock, _made = make_pool(max_per_host=1, capacity=1)
+        pool.checkout(pool.view("h").candidates()[0])
+        assert pool.view("h").candidates() == []
+
+    def test_per_host_limit_hides_new(self):
+        pool, _clock, _made = make_pool(max_per_host=1, capacity=2)
+        pool.checkout(pool.view("h").candidates()[0])
+        kinds = [c.kind for c in pool.view("h").candidates()]
+        assert kinds == ["share"]
+
+    def test_candidate_stats_delegate_to_handle(self):
+        pool, _clock, _made = make_pool()
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        pool.release(entry)
+        candidate = pool.view("h").candidates()[0]
+        assert candidate.srtt() == 0.02
+        assert candidate.cwnd() == 20_000.0
+        assert candidate.backlog_bytes() == 123.0
+        assert pool.view("h").typical_srtt() == 0.02
+
+    def test_new_candidate_defaults(self):
+        pool, _clock, _made = make_pool()
+        candidate = pool.view("h").candidates()[0]
+        assert candidate.srtt() == float("inf")
+        assert candidate.backlog_bytes() == 0.0
+        assert pool.view("h").typical_srtt() is None
+
+
+class TestAccounting:
+    def test_reuse_new_share_counters(self):
+        pool, _clock, _made = make_pool(max_per_host=2, capacity=2)
+        first = pool.checkout(pool.view("h").candidates()[0])     # new
+        pool.checkout([c for c in pool.view("h").candidates()
+                       if c.kind == "share"][0])                  # share
+        pool.release(first)
+        pool.release(first)
+        pool.checkout([c for c in pool.view("h").candidates()
+                       if c.kind == "reuse"][0])                  # reuse
+        stats = pool.stats()
+        assert stats["opened"] == 1
+        assert stats["shared"] == 1
+        assert stats["reused"] == 1
+        assert first.transfers_carried == 3
+
+    def test_hosts_are_independent(self):
+        pool, _clock, made = make_pool(max_per_host=1)
+        pool.checkout(pool.view("a").candidates()[0])
+        pool.checkout(pool.view("b").candidates()[0])
+        assert [h.host for h in made] == ["a", "b"]
+        assert pool.stats()["live"] == 2
+
+    def test_stale_candidate_rejected(self):
+        pool, clock, _made = make_pool(idle_timeout=1.0)
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        pool.release(entry)
+        stale = pool.view("h").candidates()[0]
+        clock.now = 5.0
+        pool.sweep()
+        with pytest.raises(ValueError, match="stale"):
+            pool.checkout(stale)
+
+    def test_release_underflow_rejected(self):
+        pool, _clock, _made = make_pool()
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        pool.release(entry)
+        with pytest.raises(ValueError):
+            pool.release(entry)
+
+
+class TestIdleExpiry:
+    def test_sweep_closes_idle_past_timeout(self):
+        pool, clock, made = make_pool(idle_timeout=10.0)
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        clock.now = 5.0
+        pool.release(entry)
+        clock.now = 14.0
+        assert pool.sweep() == 0          # idle only 9s
+        clock.now = 15.0
+        assert pool.sweep() == 1
+        assert made[0].closed
+        assert pool.stats() == {"opened": 1, "reused": 0, "shared": 0,
+                                "expired": 1, "live": 0}
+
+    def test_busy_connection_never_expires(self):
+        pool, clock, made = make_pool(idle_timeout=1.0)
+        pool.checkout(pool.view("h").candidates()[0])
+        clock.now = 100.0
+        assert pool.sweep() == 0
+        assert not made[0].closed
+
+    def test_close_all(self):
+        pool, _clock, made = make_pool()
+        pool.checkout(pool.view("h").candidates()[0])
+        pool.close_all()
+        assert made[0].closed
+        assert pool.stats()["live"] == 0
+
+
+class TestCapacityListeners:
+    def test_release_notifies_listeners(self):
+        pool, _clock, _made = make_pool()
+        fired = []
+        pool.add_capacity_listener(lambda: fired.append(True))
+        entry = pool.checkout(pool.view("h").candidates()[0])
+        assert not fired
+        pool.release(entry)
+        assert fired == [True]

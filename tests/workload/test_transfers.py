@@ -1,0 +1,156 @@
+"""TransferManager: graph walking, queuing, obs events, waterfall."""
+
+import pytest
+
+from repro.net import Simulator
+from repro.obs import CaptureSink
+from repro.core.engine.policy import Policy, RoundRobinScheduler
+from repro.workload import (
+    ConnectionPool,
+    PageObject,
+    PageSpec,
+    TransferManager,
+)
+
+pytestmark = pytest.mark.workload
+
+
+class InstantFetchStack:
+    """Fetch backend completing each transfer after a fixed simulated
+    delay per byte -- enough to exercise ordering without a transport."""
+
+    def __init__(self, sim, byte_time=1e-6):
+        self.sim = sim
+        self.byte_time = byte_time
+        self.fetched = []
+
+    def factory(self, host):
+        return "handle-%s" % host
+
+    def fetch(self, entry, transfer, done):
+        self.fetched.append((self.sim.now, transfer.name, entry.index))
+        self.sim.schedule(transfer.size * self.byte_time, done)
+
+
+def diamond_page():
+    return PageSpec("diamond", [
+        PageObject("html", 10_000, (), kind="html"),
+        PageObject("css", 5_000, ("html",), kind="css"),
+        PageObject("js", 8_000, ("html",), kind="js"),
+        PageObject("img", 20_000, ("css", "js"), kind="img"),
+    ])
+
+
+def run_page(page, capacity=2, max_per_host=2, policy=None, bus=False):
+    sim = Simulator(seed=3)
+    stack = InstantFetchStack(sim)
+    pool = ConnectionPool(sim, stack.factory, max_per_host=max_per_host,
+                          capacity=capacity,
+                          bus=sim.bus if bus else None)
+    capture = CaptureSink()
+    if bus:
+        sim.bus.subscribe(capture, categories=("workload",))
+    manager = TransferManager(page, pool, policy or Policy(), sim,
+                              stack.fetch,
+                              bus=sim.bus if bus else None)
+    sim.schedule(0.0, manager.start)
+    sim.run(until=60)
+    return manager, pool, stack, capture
+
+
+class TestGraphWalk:
+    def test_dependencies_gate_release(self):
+        manager, _pool, stack, _cap = run_page(diamond_page())
+        assert manager.done
+        started = {name: t for t, name, _conn in stack.fetched}
+        assert started["html"] < started["css"]
+        assert started["html"] < started["js"]
+        # img waits for BOTH branches.
+        done_css = manager.transfers["css"].t_done
+        done_js = manager.transfers["js"].t_done
+        assert started["img"] >= max(done_css, done_js)
+
+    def test_plt_spans_first_to_last(self):
+        manager, _pool, _stack, _cap = run_page(diamond_page())
+        assert manager.plt == pytest.approx(
+            manager.transfers["img"].t_done - manager.t_begin)
+
+    def test_saturated_pool_queues_then_drains(self):
+        wide = PageSpec("wide", [PageObject("html", 1000)] + [
+            PageObject("o%d" % i, 1000, ("html",)) for i in range(8)
+        ])
+        manager, pool, _stack, _cap = run_page(wide, capacity=1,
+                                               max_per_host=2)
+        assert manager.done
+        # 9 transfers over at most 2 concurrent slots.
+        assert pool.stats()["opened"] == 2
+        assert pool.stats()["reused"] >= 6
+
+    def test_two_managers_share_one_pool_without_stalling(self):
+        sim = Simulator(seed=4)
+        stack = InstantFetchStack(sim)
+        pool = ConnectionPool(sim, stack.factory, max_per_host=1,
+                              capacity=1)
+        managers = [
+            TransferManager(diamond_page(), pool, Policy(), sim,
+                            stack.fetch)
+            for _ in range(2)
+        ]
+        for manager in managers:
+            sim.schedule(0.0, manager.start)
+        sim.run(until=60)
+        # One serial connection for both pages: the capacity listener
+        # must hand freed slots across managers.
+        assert all(m.done for m in managers)
+
+    def test_transfer_records_placement(self):
+        manager, _pool, _stack, _cap = run_page(diamond_page())
+        assert manager.transfers["html"].placement == "new"
+        placements = {t.placement for t in manager.transfers.values()}
+        assert placements <= {"new", "reuse", "share"}
+
+
+class TestObsEvents:
+    def test_lifecycle_events_emitted(self):
+        manager, _pool, _stack, capture = run_page(diamond_page(),
+                                                   bus=True)
+        names = capture.names()
+        for expected in ("object_ready", "object_start", "object_done",
+                         "page_load", "pool_open"):
+            assert expected in names
+        ready = capture.select(name="object_ready")
+        start = capture.select(name="object_start")
+        done = capture.select(name="object_done")
+        assert len(ready) == len(start) == len(done) == 4
+
+    def test_page_load_event_carries_plt(self):
+        manager, _pool, _stack, capture = run_page(diamond_page(),
+                                                   bus=True)
+        (event,) = capture.select(name="page_load")
+        assert event.data["plt"] == pytest.approx(manager.plt)
+        assert event.data["objects"] == 4
+        assert event.data["bytes"] == 43_000
+
+    def test_object_start_names_policy(self):
+        _m, _pool, _stack, capture = run_page(
+            diamond_page(), policy=RoundRobinScheduler(), bus=True)
+        for event in capture.select(name="object_start"):
+            assert event.data["policy"] == "round-robin"
+
+    def test_silent_without_bus(self):
+        manager, _pool, _stack, capture = run_page(diamond_page(),
+                                                   bus=False)
+        assert manager.done
+        assert capture.events == []
+
+
+class TestWaterfall:
+    def test_rows_complete_and_ordered(self):
+        manager, _pool, _stack, _cap = run_page(diamond_page())
+        rows = manager.waterfall()
+        assert [r["status"] for r in rows] == ["done"] * 4
+        times = [r["t_done"] for r in rows]
+        assert times == sorted(times)
+        first = rows[0]
+        assert first["name"] == "html"
+        assert first["t_ready"] <= first["t_start"] <= first["t_done"]
