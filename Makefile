@@ -5,7 +5,8 @@ export PYTHONPATH := src
 # Output is byte-identical for any JOBS value; see repro/perf/sweep.py.
 JOBS ?= 1
 
-.PHONY: test test-obs bench bench-check bench-sweep trace-demo
+.PHONY: test test-obs bench bench-check bench-sweep bench-matrix \
+        bench-matrix-rerun trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +29,32 @@ bench-check: bench-sweep
 # merged JSON is independent of JOBS (deterministic merge order).
 bench-sweep:
 	$(PYTHON) benchmarks/runner.py --jobs $(JOBS) --json benchmarks/BENCH_sweep.json
+
+# Full experiment matrix (200+ scenario x topology x cipher x
+# scheduler x seed points) with the content-addressed result cache:
+# unchanged points are served from .bench_cache (override with
+# --cache-dir or REPRO_BENCH_CACHE), so an immediately repeated run is
+# ~100% cache hits and finishes in seconds.  The trend gate diffs the
+# whole matrix against the committed envelope, grouping regressions by
+# axis value; refresh benchmarks/baselines/BENCH_matrix.json when a
+# drift is intended.
+bench-matrix:
+	$(PYTHON) benchmarks/runner.py --matrix --jobs $(JOBS) \
+	    --json benchmarks/BENCH_matrix.json \
+	    --stats-json benchmarks/BENCH_matrix.stats.json
+	$(PYTHON) benchmarks/trend.py \
+	    benchmarks/baselines/BENCH_matrix.json \
+	    benchmarks/BENCH_matrix.json
+
+# Re-execute exactly the matrix points whose journalled result carried
+# an "error" tag (everything else is reused), then re-gate.
+bench-matrix-rerun:
+	$(PYTHON) benchmarks/runner.py --matrix --jobs $(JOBS) \
+	    --rerun-failed --json benchmarks/BENCH_matrix.json \
+	    --stats-json benchmarks/BENCH_matrix.stats.json
+	$(PYTHON) benchmarks/trend.py \
+	    benchmarks/baselines/BENCH_matrix.json \
+	    benchmarks/BENCH_matrix.json
 
 # Run the Fig. 8 failover scenario with the full observability stack
 # armed and write trace_failover.qlog (inspect with QVIS).

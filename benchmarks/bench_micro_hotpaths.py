@@ -256,6 +256,57 @@ def test_rangeset_scoreboard_churn(benchmark):
     assert benchmark(run) > 0
 
 
+def test_bus_emit_no_subscribers(benchmark):
+    """The permanently-wired instrumentation cost when nobody listens:
+    must stay a couple of attribute lookups per emit."""
+    sim = Simulator()
+    bus = sim.bus
+
+    def run():
+        for _ in range(1000):
+            bus.emit("tcp", "segment_sent", {"conn": 1})
+        return bus.events_emitted
+
+    assert benchmark(run) == 0
+
+
+def test_bus_emit_unwatched_category(benchmark):
+    """Hot-path emits on a category no subscriber wants: the memoised
+    per-category wants check makes this O(1) instead of a subscriber
+    scan + list copy per emit."""
+    sim = Simulator()
+    bus = sim.bus
+    for _ in range(8):
+        bus.subscribe(lambda event: None, categories=("session",))
+
+    def run():
+        for _ in range(1000):
+            bus.emit("tcp", "segment_sent", {"conn": 1})
+        return bus.events_emitted
+
+    assert benchmark(run) == 0
+
+
+def test_bus_wants_memoised(benchmark):
+    """wants() guards expensive data-dict construction on hot paths;
+    with the mutation-invalidated memo it is one dict lookup."""
+    sim = Simulator()
+    bus = sim.bus
+    for _ in range(8):
+        bus.subscribe(lambda event: None, categories=("session", "tls"))
+
+    def run():
+        hits = 0
+        for _ in range(1000):
+            if bus.wants("perf"):
+                hits += 1
+            if bus.wants("tls"):
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 1000
+
+
 def test_ebpf_vm_dispatch(benchmark):
     program = assemble("""
         mov r0, 0

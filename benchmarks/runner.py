@@ -1,13 +1,28 @@
-"""Parallel bench/scenario sweep runner.
+"""Parallel bench/scenario sweep + experiment-matrix runner.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/runner.py --jobs 4 --json out.json
+    PYTHONPATH=src python benchmarks/runner.py --matrix --jobs 4 \
+        --json benchmarks/BENCH_matrix.json
 
-Shards the sweep points from :mod:`sweep_points` across worker
-processes (see :mod:`repro.perf.sweep` for the determinism rules) and
-writes a canonical JSON report.  The output is byte-identical for any
-``--jobs`` value; CI asserts ``--jobs 1`` == ``--jobs 2`` with ``cmp``.
+The default mode shards the 13 :mod:`sweep_points` determinism-gate
+points; ``--matrix`` runs the full declarative experiment matrix (200+
+points) with the content-addressed result cache and per-shard journals:
+
+- unchanged points (same spec, same source fingerprint) are served
+  from ``.bench_cache/`` (``--cache-dir`` / ``$REPRO_BENCH_CACHE``)
+  without spawning a worker -- an immediately repeated matrix run is
+  ~100% cache hits and finishes in seconds;
+- ``--resume`` reuses successful entries from the journal directory
+  and re-runs only missing/failed points;
+- ``--rerun-failed`` re-executes exactly the points whose journalled
+  result carried an ``"error"`` tag (implies ``--resume``).
+
+The merged JSON is byte-identical for any ``--jobs`` value, shard
+split, interrupt/resume history or cache state; CI asserts it with
+``cmp``.  Cache statistics go to stderr and ``--stats-json`` only --
+never into the merged report.
 """
 
 import argparse
@@ -30,9 +45,35 @@ def main(argv=None):
                         help="write the merged report here")
     parser.add_argument("--points", default=None,
                         help="comma-separated point-name filter "
-                             "(substring match)")
+                             "(substring match unless --exact)")
+    parser.add_argument("--exact", action="store_true",
+                        help="match --points filters against whole "
+                             "point names instead of substrings")
     parser.add_argument("--list", action="store_true",
                         help="list point names and exit")
+    parser.add_argument("--matrix", action="store_true",
+                        help="run the full experiment matrix (with "
+                             "result cache + shard journals) instead "
+                             "of the 13-point determinism sweep")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache root (default: "
+                             "$REPRO_BENCH_CACHE or .bench_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (every point "
+                             "executes)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="shard-journal directory (default: "
+                             "<cache-dir>/journal; matrix mode only)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse successful journal entries; re-run "
+                             "only missing/failed points")
+    parser.add_argument("--rerun-failed", action="store_true",
+                        help="re-execute exactly the journalled points "
+                             "whose result carried an error tag")
+    parser.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="write cache/journal statistics here "
+                             "(kept out of the merged report so it "
+                             "stays byte-identical across runs)")
     parser.add_argument("--profile", default=None, metavar="PATH",
                         help="run the points serially in-process under "
                              "cProfile and dump the stats file here "
@@ -41,13 +82,16 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     import sweep_points
-    from repro.perf import run_sweep, sweep_to_json
+    from repro.perf import filter_points, run_sweep, sweep_to_json
 
-    points = sweep_points.default_points()
+    if args.matrix:
+        points = sweep_points.default_matrix()
+    else:
+        points = sweep_points.default_points()
+    wanted = None
     if args.points:
         wanted = [w.strip() for w in args.points.split(",") if w.strip()]
-        points = [p for p in points
-                  if any(w in p.name for w in wanted)]
+        points = filter_points(points, wanted, exact=args.exact)
     if args.list:
         for point in points:
             print(point.name)
@@ -57,6 +101,7 @@ def main(argv=None):
         return 2
 
     started = time.perf_counter()
+    stats = None
     if args.profile:
         import cProfile
         import pstats
@@ -72,11 +117,27 @@ def main(argv=None):
                 results.append({"name": point.name, "error": repr(exc)})
         profiler.disable()
         profiler.dump_stats(args.profile)
-        stats = pstats.Stats(profiler)
+        stats_obj = pstats.Stats(profiler)
         print("profile: %d calls in %.3fs -> %s (top 10 by cumulative:)"
-              % (stats.total_calls, stats.total_tt, args.profile),
+              % (stats_obj.total_calls, stats_obj.total_tt, args.profile),
               file=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(10)
+        stats_obj.sort_stats("cumulative").print_stats(10)
+    elif args.matrix:
+        from repro.perf import ResultCache, ShardJournal, run_matrix
+        from repro.perf.cache import resolve_cache_dir
+
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache.open(
+                args.cache_dir,
+                roots=[os.path.join(_SRC, "repro"), _HERE])
+        journal_dir = args.journal_dir or os.path.join(
+            resolve_cache_dir(args.cache_dir), "journal")
+        journal = ShardJournal(journal_dir)
+        results, stats = run_matrix(
+            points, jobs=args.jobs, cache=cache, journal=journal,
+            resume=args.resume or args.rerun_failed,
+            rerun_failed=args.rerun_failed)
     else:
         results = run_sweep(points, jobs=args.jobs)
     elapsed = time.perf_counter() - started
@@ -88,6 +149,17 @@ def main(argv=None):
               % (args.json, len(results), args.jobs, elapsed))
     else:
         sys.stdout.write(text)
+    if stats is not None:
+        print("cache: %s" % stats.summary(), file=sys.stderr)
+        if args.stats_json:
+            import json as _json
+
+            doc = stats.to_dict()
+            doc["points"] = len(results)
+            doc["wall_s"] = round(elapsed, 3)
+            with open(args.stats_json, "w") as handle:
+                _json.dump(doc, handle, sort_keys=True, indent=2)
+                handle.write("\n")
     for failure in failures:
         print("FAILED %s: %s" % (failure["name"], failure["error"]),
               file=sys.stderr)

@@ -1,0 +1,171 @@
+"""Whole-matrix trend gate: diff a matrix report against the envelope.
+
+Usage::
+
+    python benchmarks/trend.py benchmarks/baselines/BENCH_matrix.json \
+        benchmarks/BENCH_matrix.json [--threshold 0.2]
+
+Both files are merged matrix reports from ``runner.py --matrix``.
+Every point's *directional* metrics are compared: a metric listed in
+``LOWER_IS_BETTER`` (completion times, page-load percentiles) regresses
+when it grows past the threshold, one in ``HIGHER_IS_BETTER``
+(throughput, delivered bytes) when it shrinks past it.  Digests,
+counters and other non-directional values are ignored -- the golden
+traces already pin those bit-for-bit.
+
+Unlike the flat per-bench list in ``compare.py``, failures are grouped
+by axis value: the matrix points carry their axis assignment
+(``{"axes": {"cipher": "chacha20poly1305", ...}}``), so the report
+says "all cipher=chacha20poly1305 points slowed" instead of printing
+hundreds of indistinguishable rows.  Points that error in the new run
+but succeeded in the envelope always fail the gate.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+#: metric -> smaller is better (simulated completion/latency seconds)
+LOWER_IS_BETTER = frozenset((
+    "done_at", "plt_p50", "plt_p95", "plt_max",
+    "handshake_p99", "transfer_p99", "duration", "wall_s",
+))
+#: metric -> larger is better (rates and delivered volume)
+HIGHER_IS_BETTER = frozenset((
+    "gbps", "bytes_delivered", "bytes", "sessions_per_sec",
+    "bytes_per_sec", "goodput_gbps", "jain_index", "utilization",
+    "pages_completed", "objects_completed", "transfers_completed",
+))
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    out = {}
+    for entry in doc.get("results", []):
+        name = entry.get("name")
+        if name:
+            out[name] = entry
+    return out
+
+
+def directional_metrics(metrics):
+    """(metric, value, lower_is_better) for every comparable scalar."""
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in LOWER_IS_BETTER:
+            yield key, float(value), True
+        elif key in HIGHER_IS_BETTER:
+            yield key, float(value), False
+
+
+def compare_point(old_metrics, new_metrics, threshold):
+    """Regressions for one point: [(metric, old, new, severity)]."""
+    found = []
+    for key, old_value, lower_better in directional_metrics(old_metrics):
+        new_value = new_metrics.get(key)
+        if not isinstance(new_value, (int, float)) or \
+                isinstance(new_value, bool):
+            continue
+        new_value = float(new_value)
+        if old_value == 0.0:
+            continue
+        ratio = new_value / old_value
+        severity = (ratio - 1.0) if lower_better else (1.0 - ratio)
+        if severity > threshold:
+            found.append((key, old_value, new_value, severity))
+    return found
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail if the matrix regressed against its envelope")
+    parser.add_argument("baseline", help="committed envelope JSON")
+    parser.add_argument("new", help="freshly produced matrix JSON")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed relative drift (default 0.2)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    new = load(args.new)
+    shared = sorted(set(baseline) & set(new))
+
+    regressed = {}          # name -> [(metric, old, new, severity)]
+    new_errors = []
+    compared = 0
+    for name in shared:
+        old_entry, new_entry = baseline[name], new[name]
+        if "error" in new_entry:
+            if "error" not in old_entry:
+                new_errors.append((name, new_entry["error"]))
+            continue
+        if "error" in old_entry or "metrics" not in old_entry:
+            continue
+        compared += 1
+        found = compare_point(old_entry["metrics"],
+                              new_entry["metrics"], args.threshold)
+        if found:
+            regressed[name] = found
+
+    # -- group by axis value ------------------------------------------------
+    groups = defaultdict(lambda: [0, 0])    # (axis, value) -> [bad, total]
+    for name in shared:
+        entry = new[name]
+        axes = dict(entry.get("axes") or {})
+        axes["family"] = name.split("/", 1)[0]
+        for axis, value in sorted(axes.items()):
+            cell = groups[(axis, str(value))]
+            cell[1] += 1
+            if name in regressed:
+                cell[0] += 1
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    print("%d points compared against the envelope "
+          "(%d regressed, %d new errors, %d new, %d removed)"
+          % (compared, len(regressed), len(new_errors), len(only_new),
+             len(only_old)))
+
+    if regressed:
+        ranked = sorted(
+            ((bad / total, bad, total, axis, value)
+             for (axis, value), (bad, total) in groups.items() if bad),
+            reverse=True)
+        print("\nregressions grouped by axis value (worst first):")
+        for fraction, bad, total, axis, value in ranked:
+            note = "  <-- ALL points of this value" if bad == total \
+                and total > 1 else ""
+            print("  %-28s %3d/%-3d regressed (%.0f%%)%s"
+                  % ("%s=%s" % (axis, value), bad, total,
+                     fraction * 100, note))
+        worst = sorted(regressed.items(),
+                       key=lambda item: -max(f[3] for f in item[1]))
+        print("\nworst individual points:")
+        for name, found in worst[:10]:
+            metric, old_value, new_value, severity = max(
+                found, key=lambda f: f[3])
+            print("  %-64s %s %.6g -> %.6g (%+.1f%%)"
+                  % (name, metric, old_value, new_value, severity * 100))
+        if len(worst) > 10:
+            print("  ... and %d more" % (len(worst) - 10))
+    for name, error in new_errors:
+        print("NEW ERROR %s: %s" % (name, error))
+    for name in only_new:
+        print("%-64s (new: no envelope entry yet)" % name)
+    for name in only_old:
+        print("%-64s (removed: present only in envelope)" % name)
+
+    if regressed or new_errors:
+        print("\nFAIL: matrix drifted past %.0f%% of the committed "
+              "envelope.  If the change is intended, refresh "
+              "benchmarks/baselines/BENCH_matrix.json (see bench-matrix "
+              "in the Makefile)." % (args.threshold * 100))
+        return 1
+    print("matrix within the envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

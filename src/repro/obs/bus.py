@@ -67,16 +67,27 @@ class EventBus:
     def __init__(self, sim):
         self.sim = sim
         self._subs = []
+        # Emission iterates an immutable snapshot rebuilt only when the
+        # subscriber set mutates, so the hot path never copies the list;
+        # wants() answers from a per-category memo with the same
+        # lifetime.  Both are invalidated together in _invalidate().
+        self._snapshot = ()
+        self._wants_cache = {}
         #: total events emitted to at least one subscriber
         self.events_emitted = 0
 
     # -- subscription ------------------------------------------------------
+
+    def _invalidate(self):
+        self._snapshot = tuple(self._subs)
+        self._wants_cache = {}
 
     def subscribe(self, sink, categories=None, where=None):
         """Register ``sink``; returns the :class:`Subscription` (pass it
         to :meth:`unsubscribe`, or use it as a context manager)."""
         sub = Subscription(sink, categories, where)
         self._subs.append(sub)
+        self._invalidate()
         return sub
 
     def unsubscribe(self, sub_or_sink):
@@ -85,21 +96,28 @@ class EventBus:
             sub_or_sink.active = False
             if sub_or_sink in self._subs:
                 self._subs.remove(sub_or_sink)
+            self._invalidate()
             return
         for sub in [s for s in self._subs if s.sink is sub_or_sink]:
             sub.active = False
             self._subs.remove(sub)
+        self._invalidate()
 
     def wants(self, category):
         """True if at least one live subscriber listens to ``category``.
 
         Emitters use this to skip building expensive data dicts on hot
-        paths when nobody is looking.
+        paths when nobody is looking; the answer is memoised until the
+        subscriber set changes, so repeated calls are one dict lookup.
         """
-        for sub in self._subs:
-            if sub.categories is None or category in sub.categories:
-                return True
-        return False
+        wanted = self._wants_cache.get(category)
+        if wanted is None:
+            wanted = any(
+                sub.categories is None or category in sub.categories
+                for sub in self._snapshot
+            )
+            self._wants_cache[category] = wanted
+        return wanted
 
     # -- emission ----------------------------------------------------------
 
@@ -108,14 +126,17 @@ class EventBus:
 
         Returns the :class:`~repro.obs.events.Event` if it was
         dispatched to at least one sink, else ``None`` (no event object
-        is even built when nobody subscribed).
+        is even built when nobody subscribed -- and an emit on a
+        category no subscriber listens to is a memoised dict lookup).
         """
-        subs = self._subs
+        subs = self._snapshot
         if not subs:
+            return None
+        if not self.wants(category):
             return None
         event = None
         delivered = False
-        for sub in list(subs):
+        for sub in subs:
             if not sub.active:
                 continue
             if sub.categories is not None and category not in sub.categories:

@@ -33,11 +33,35 @@ from repro.perf.pageload import (
     pageload_sweep_point,
     run_pageload_cell,
 )
+from repro.perf.cache import (
+    ResultCache,
+    resolve_cache_dir,
+    source_fingerprint,
+)
+from repro.perf.matrix import (
+    Axis,
+    MatrixPoint,
+    MatrixSpec,
+    ShardJournal,
+    expand_matrix,
+    filter_points,
+    run_matrix,
+)
 from repro.perf.sweep import SweepPoint, run_sweep, sweep_to_json
 from repro.perf.traincost import TrainCostAccountant, attach_train_accounting
 
 __all__ = [
+    "Axis",
     "CpuProfile",
+    "MatrixPoint",
+    "MatrixSpec",
+    "ResultCache",
+    "ShardJournal",
+    "expand_matrix",
+    "filter_points",
+    "resolve_cache_dir",
+    "run_matrix",
+    "source_fingerprint",
     "LoadgenHarness",
     "PAGELOAD_GRIDS",
     "PAGELOAD_POLICIES",

@@ -1,0 +1,285 @@
+"""Declarative experiment matrices with resumable, cached execution.
+
+The paper's evaluation is a grid -- scenario x topology x cipher x
+scheduler x seed -- and :mod:`repro.perf.sweep` already runs point
+lists deterministically in parallel.  This module adds the fleet
+layer on top:
+
+- :class:`MatrixSpec` expands named :class:`Axis` values into
+  :class:`MatrixPoint`\\ s (a :class:`~repro.perf.sweep.SweepPoint`
+  that remembers its axis assignment), dropping combinations a
+  validity predicate rejects;
+- :func:`filter_points` applies the runner's substring (default) or
+  ``--exact`` name filters;
+- :func:`run_matrix` executes a point list with a content-addressed
+  :class:`~repro.perf.cache.ResultCache` (unchanged points are skipped
+  entirely) and a :class:`ShardJournal` (per-shard JSONL files written
+  as points complete), supporting ``resume`` (re-run only
+  missing/failed entries) and ``rerun_failed`` (force re-execution of
+  exactly the error-tagged entries).
+
+The merged result list is ordered by the canonical point order, so the
+serialised JSON is byte-identical for any jobs/shard split, any
+interrupt/resume history, and any cache hit/miss pattern.
+"""
+
+import itertools
+import json
+import os
+
+from repro.perf.sweep import SweepPoint, _check_picklable, _execute
+
+
+class Axis:
+    """One named dimension: ``Axis("mtu", (1500, 9000))``."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name, values):
+        self.name = name
+        self.values = tuple(values)
+        if not self.values:
+            raise ValueError("axis %r has no values" % name)
+
+    def __repr__(self):
+        return "Axis(%r, %r)" % (self.name, self.values)
+
+
+class MatrixPoint(SweepPoint):
+    """A sweep point carrying its axis assignment (for trend grouping)."""
+
+    __slots__ = ("axes",)
+
+    def __init__(self, name, fn, kwargs=None, axes=None):
+        super().__init__(name, fn, kwargs)
+        self.axes = dict(axes) if axes else {}
+
+
+class MatrixSpec:
+    """One point family: a callable crossed over named axes.
+
+    ``valid`` (optional) receives the combo dict and returns False to
+    drop a combination; ``to_kwargs`` (optional) maps the combo dict to
+    the callable's kwargs (default: the combo itself); ``fixed`` kwargs
+    are merged into every point.  Point names are
+    ``family/axis=value/...`` in axis order, so name filters can select
+    whole families (``fig8``) or single axis values (``cipher=chacha20``).
+    """
+
+    def __init__(self, family, fn, axes, valid=None, to_kwargs=None,
+                 fixed=None):
+        self.family = family
+        self.fn = fn
+        self.axes = list(axes)
+        self.valid = valid
+        self.to_kwargs = to_kwargs
+        self.fixed = dict(fixed) if fixed else {}
+
+    def point_name(self, combo):
+        parts = [self.family]
+        for axis in self.axes:
+            parts.append("%s=%s" % (axis.name, combo[axis.name]))
+        return "/".join(parts)
+
+    def expand(self):
+        """All valid combinations, in deterministic axis-value order."""
+        points = []
+        names = [axis.name for axis in self.axes]
+        for values in itertools.product(*(a.values for a in self.axes)):
+            combo = dict(zip(names, values))
+            if self.valid is not None and not self.valid(combo):
+                continue
+            kwargs = dict(self.fixed)
+            kwargs.update(self.to_kwargs(combo) if self.to_kwargs
+                          else combo)
+            points.append(MatrixPoint(self.point_name(combo), self.fn,
+                                      kwargs, axes=combo))
+        return points
+
+
+def expand_matrix(specs):
+    """Expand every spec, rejecting duplicate point names up front."""
+    points = []
+    seen = set()
+    for spec in specs:
+        for point in spec.expand():
+            if point.name in seen:
+                raise ValueError("duplicate matrix point %r" % point.name)
+            seen.add(point.name)
+            points.append(point)
+    return points
+
+
+def filter_points(points, patterns, exact=False):
+    """Name filters: substring match by default, whole-name with exact."""
+    if not patterns:
+        return list(points)
+    if exact:
+        wanted = set(patterns)
+        return [p for p in points if p.name in wanted]
+    return [p for p in points
+            if any(pattern in p.name for pattern in patterns)]
+
+
+class ShardJournal:
+    """Per-shard JSONL journals of completed point results.
+
+    Shard ``k`` appends to ``<dir>/shard-<k>.jsonl`` as its points
+    complete, so an interrupted run leaves a complete record of
+    everything that finished.  ``load`` merges every shard file into a
+    name -> entry dict (last write wins, so resumed runs may append
+    fresh entries for names an older line also carries).
+    """
+
+    def __init__(self, directory):
+        self.directory = directory
+
+    def _path(self, shard):
+        return os.path.join(self.directory, "shard-%d.jsonl" % shard)
+
+    def append(self, shard, entry):
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self._path(shard), "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def load(self):
+        entries = {}
+        if not os.path.isdir(self.directory):
+            return entries
+        for filename in sorted(os.listdir(self.directory)):
+            if not (filename.startswith("shard-")
+                    and filename.endswith(".jsonl")):
+                continue
+            with open(os.path.join(self.directory, filename)) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue    # torn tail line from an interrupt
+                    if isinstance(entry, dict) and "name" in entry:
+                        entries[entry["name"]] = entry
+        return entries
+
+
+class MatrixStats:
+    """Where each point's result came from, plus wall bookkeeping."""
+
+    def __init__(self):
+        self.cache_hits = 0
+        self.journal_reused = 0
+        self.executed = 0
+        self.errors = 0
+        self.stored = 0
+
+    @property
+    def skipped(self):
+        """Points that never executed this run (cache or journal)."""
+        return self.cache_hits + self.journal_reused
+
+    def to_dict(self):
+        return {
+            "cache_hits": self.cache_hits,
+            "journal_reused": self.journal_reused,
+            "executed": self.executed,
+            "errors": self.errors,
+            "stored": self.stored,
+            "skipped": self.skipped,
+        }
+
+    def summary(self):
+        return ("%d hits / %d misses / %d skipped "
+                "(%d journal-reused, %d errors, %d stored)"
+                % (self.cache_hits, self.executed, self.skipped,
+                   self.journal_reused, self.errors, self.stored))
+
+
+def _entry_for(point, result):
+    """The merged-JSON entry shape: result plus the axis assignment."""
+    entry = dict(result)
+    axes = getattr(point, "axes", None)
+    if axes:
+        entry["axes"] = dict(axes)
+    return entry
+
+
+def _execute_indexed(job):
+    index, point = job
+    return index, _execute(point)
+
+
+def run_matrix(points, jobs=1, cache=None, journal=None, resume=False,
+               rerun_failed=False):
+    """Run a matrix point list; returns ``(results, stats)``.
+
+    ``results`` is in canonical (input) order whatever the shard split,
+    completion order or resume history.  Resolution order per point:
+
+    1. with ``resume``/``rerun_failed``: a successful journal entry is
+       reused (error entries are always re-run);
+    2. a cache hit (skipped when ``rerun_failed`` names this point as
+       previously failed -- a forced fresh execution);
+    3. live execution in a spawn worker; the result is journalled under
+       the worker's shard and stored to the cache on success.
+    """
+    points = list(points)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    stats = MatrixStats()
+    results = [None] * len(points)
+
+    prior_failed = set()
+    if journal is not None and (resume or rerun_failed):
+        prior = journal.load()
+        for index, point in enumerate(points):
+            entry = prior.get(point.name)
+            if entry is None:
+                continue
+            if "error" in entry:
+                prior_failed.add(point.name)
+                continue
+            results[index] = entry
+            stats.journal_reused += 1
+
+    todo = []
+    for index, point in enumerate(points):
+        if results[index] is not None:
+            continue
+        force = rerun_failed and point.name in prior_failed
+        if cache is not None and not force:
+            hit = cache.get(point)
+            if hit is not None:
+                entry = _entry_for(point, hit)
+                results[index] = entry
+                stats.cache_hits += 1
+                if journal is not None:
+                    journal.append(index % jobs, entry)
+                continue
+        todo.append((index, point))
+
+    if todo:
+        # Every remaining point pays for a fresh spawn interpreter; when
+        # the cache resolved the whole matrix no pool is created at all.
+        _check_picklable([point for _, point in todo])
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(todo))
+        with ctx.Pool(processes=workers, maxtasksperchild=1) as pool:
+            for index, result in pool.imap_unordered(
+                    _execute_indexed, todo):
+                point = points[index]
+                entry = _entry_for(point, result)
+                results[index] = entry
+                stats.executed += 1
+                if "error" in result:
+                    stats.errors += 1
+                elif cache is not None:
+                    cache.put(point, result)
+                    stats.stored += 1
+                if journal is not None:
+                    journal.append(index % jobs, entry)
+
+    return results, stats

@@ -56,7 +56,14 @@ def _execute(point):
 
 
 def _check_picklable(points):
+    # Many points share one callable (a matrix family crosses a single
+    # fn over hundreds of axis combinations); pickle each distinct fn
+    # once, not once per point.
+    checked = set()
     for point in points:
+        if id(point.fn) in checked:
+            continue
+        checked.add(id(point.fn))
         try:
             pickle.dumps(point.fn)
         except Exception as exc:
@@ -67,25 +74,50 @@ def _check_picklable(points):
             ) from exc
 
 
-def run_sweep(points, jobs=1):
+def run_sweep(points, jobs=1, cache=None):
     """Run every point; returns results in input order.
 
     ``jobs=1`` runs in-process-pool with a single worker -- still one
     fresh interpreter per point, so serial and parallel runs see
     identical interpreter state and produce identical results.
+
+    With a :class:`~repro.perf.cache.ResultCache`, points whose key
+    resolves are answered from the cache without executing; fresh
+    successes are stored back.  When *every* point resolves from the
+    cache (or the list is empty) no worker pool is spawned at all --
+    the whole sweep costs a handful of file reads.
     """
     points = list(points)
-    if not points:
-        return []
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    import multiprocessing
+    if not points:
+        return []
 
-    _check_picklable(points)
-    ctx = multiprocessing.get_context("spawn")
-    jobs = min(jobs, len(points))
-    with ctx.Pool(processes=jobs, maxtasksperchild=1) as pool:
-        return list(pool.imap(_execute, points))
+    results = [None] * len(points)
+    if cache is not None:
+        todo = []
+        for index, point in enumerate(points):
+            hit = cache.get(point)
+            if hit is not None:
+                results[index] = hit
+            else:
+                todo.append((index, point))
+    else:
+        todo = list(enumerate(points))
+
+    if todo:
+        import multiprocessing
+
+        _check_picklable([point for _, point in todo])
+        ctx = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(todo))
+        with ctx.Pool(processes=workers, maxtasksperchild=1) as pool:
+            fresh = pool.imap(_execute, [point for _, point in todo])
+            for (index, point), result in zip(todo, fresh):
+                results[index] = result
+                if cache is not None:
+                    cache.put(point, result)
+    return results
 
 
 def sweep_to_json(results, path=None):

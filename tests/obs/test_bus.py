@@ -91,6 +91,64 @@ def test_wants_reflects_live_subscriptions():
         assert sim.bus.wants(category)
 
 
+def test_wants_memo_invalidated_on_mutation():
+    """wants() is memoised per category; any subscribe/unsubscribe must
+    invalidate the memo (a stale True would re-arm dead emitters, a
+    stale False would silence live sinks)."""
+    sim = Simulator()
+    assert not sim.bus.wants("tcp")
+    sub = sim.bus.subscribe(CaptureSink(), categories=("tcp",))
+    assert sim.bus.wants("tcp")            # memo rebuilt after subscribe
+    assert sim.bus.wants("tcp")            # memo hit
+    sim.bus.unsubscribe(sub)
+    assert not sim.bus.wants("tcp")        # memo rebuilt after unsubscribe
+
+
+def test_emit_on_unwatched_category_skips_dispatch():
+    """With only category-filtered subscribers, an emit on another
+    category must build no Event and count nothing."""
+    sim = Simulator()
+    sink = CaptureSink()
+    sim.bus.subscribe(sink, categories=("session",))
+    assert sim.bus.emit("tcp", "rto", {"conn": 1}) is None
+    assert sim.bus.events_emitted == 0
+    assert sink.events == []
+    assert sim.bus.emit("session", "stream_created", {}) is not None
+
+
+def test_subscribe_during_emit_takes_effect_next_emit():
+    """The emission snapshot is immutable: a sink subscribed from
+    inside a handler sees the *next* event, never the current one."""
+    sim = Simulator()
+    late = CaptureSink()
+
+    def recruiter(event):
+        if not late.events and event.name == "first":
+            sim.bus.subscribe(late)
+
+    sim.bus.subscribe(recruiter)
+    sim.bus.emit("tcp", "first", {})
+    assert late.events == []
+    sim.bus.emit("tcp", "second", {})
+    assert late.names() == ["second"]
+
+
+def test_unsubscribe_during_emit_respects_active_flag():
+    """A sink unsubscribed mid-emit (by an earlier handler) must not
+    receive the in-flight event: the snapshot still lists it, the
+    active flag gates delivery."""
+    sim = Simulator()
+    victim = CaptureSink()
+
+    def assassin(event):
+        sim.bus.unsubscribe(victim)
+
+    sim.bus.subscribe(assassin)
+    sim.bus.subscribe(victim)
+    sim.bus.emit("tcp", "hit", {})
+    assert victim.events == []
+
+
 def test_capture_select():
     sim = Simulator()
     sink = CaptureSink()

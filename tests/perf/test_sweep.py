@@ -88,3 +88,58 @@ def test_bad_jobs_value_rejected():
 
 def test_empty_sweep():
     assert run_sweep([], jobs=4) == []
+
+
+def test_picklability_checked_once_per_distinct_fn(monkeypatch):
+    """A matrix crosses one fn over hundreds of points; the up-front
+    pickle check must pay per distinct callable, not per point."""
+    import pickle as pickle_module
+
+    from repro.perf import sweep as sweep_module
+
+    calls = []
+    real_dumps = pickle_module.dumps
+
+    def counting_dumps(obj, *args, **kwargs):
+        calls.append(obj)
+        return real_dumps(obj, *args, **kwargs)
+
+    monkeypatch.setattr(sweep_module.pickle, "dumps", counting_dumps)
+    sweep_module._check_picklable(
+        [SweepPoint("p%d" % i, square_point, {"x": i})
+         for i in range(50)]
+        + [SweepPoint("q", failing_point)])
+    assert len(calls) == 2
+
+
+def test_cached_sweep_skips_the_pool_entirely(tmp_path, monkeypatch):
+    """When every point resolves from the cache (or none survive the
+    filter), run_sweep must not spawn a worker pool at all."""
+    from repro.perf import ResultCache
+
+    cache = ResultCache(str(tmp_path / "cache"), "fp")
+    cold = run_sweep(POINTS, jobs=2, cache=cache)
+    assert cache.stores == len(POINTS)
+
+    import multiprocessing
+
+    def boom(*args, **kwargs):
+        raise AssertionError("pool spawned for a fully cached sweep")
+
+    monkeypatch.setattr(multiprocessing, "get_context", boom)
+    warm = run_sweep(POINTS, jobs=2,
+                     cache=ResultCache(str(tmp_path / "cache"), "fp"))
+    assert warm == cold
+    assert run_sweep([], jobs=2) == []
+
+
+def test_partially_cached_sweep_runs_only_misses(tmp_path):
+    from repro.perf import ResultCache
+
+    cache = ResultCache(str(tmp_path / "cache"), "fp")
+    run_sweep(POINTS[:3], jobs=1, cache=cache)
+    cache2 = ResultCache(str(tmp_path / "cache"), "fp")
+    results = run_sweep(POINTS, jobs=2, cache=cache2)
+    assert cache2.hits == 3
+    assert cache2.misses == len(POINTS) - 3
+    assert results == run_sweep(POINTS, jobs=1)

@@ -1,0 +1,117 @@
+"""The whole-matrix trend gate (``benchmarks/trend.py``).
+
+The gate must pass on an identical matrix, fail on a seeded >20%
+regression, group the failure report by axis value (naming the axis
+value when *all* of its points slowed), treat new/removed points as
+informational, and fail when a previously green point now errors.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                         "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import trend    # noqa: E402
+
+
+def entry(name, axes, **metrics):
+    return {"name": name, "axes": axes, "metrics": metrics}
+
+
+def matrix_doc():
+    results = []
+    for cipher in ("aes", "chacha"):
+        for mtu in (1500, 9000):
+            results.append(entry(
+                "fig7/cipher=%s/mtu=%d" % (cipher, mtu),
+                {"cipher": cipher, "mtu": mtu},
+                gbps=10.0, done_at=2.0))
+    return {"results": results}
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc, sort_keys=True))
+    return str(path)
+
+
+def test_identical_matrix_passes(tmp_path, capsys):
+    base = write(tmp_path, "base.json", matrix_doc())
+    new = write(tmp_path, "new.json", matrix_doc())
+    assert trend.main([base, new]) == 0
+    assert "within the envelope" in capsys.readouterr().out
+
+
+def test_seeded_regression_fails_grouped_by_axis(tmp_path, capsys):
+    base = write(tmp_path, "base.json", matrix_doc())
+    doc = matrix_doc()
+    for item in doc["results"]:
+        if item["axes"]["cipher"] == "chacha":
+            item["metrics"]["gbps"] = 7.0       # -30% throughput
+    new = write(tmp_path, "new.json", doc)
+    assert trend.main([base, new]) == 1
+    out = capsys.readouterr().out
+    assert "cipher=chacha" in out
+    assert "ALL points of this value" in out
+    assert "2/2" in out
+
+
+def test_lower_is_better_direction(tmp_path):
+    base = write(tmp_path, "base.json", matrix_doc())
+    doc = matrix_doc()
+    doc["results"][0]["metrics"]["done_at"] = 2.5   # +25% completion
+    assert trend.main([base, write(tmp_path, "new.json", doc)]) == 1
+    doc = matrix_doc()
+    doc["results"][0]["metrics"]["done_at"] = 1.5   # faster: fine
+    doc["results"][0]["metrics"]["gbps"] = 14.0     # more: fine
+    assert trend.main([base, write(tmp_path, "new2.json", doc)]) == 0
+
+
+def test_drift_within_threshold_passes(tmp_path):
+    base = write(tmp_path, "base.json", matrix_doc())
+    doc = matrix_doc()
+    for item in doc["results"]:
+        item["metrics"]["gbps"] = 9.0               # -10% < 20%
+    assert trend.main([base, write(tmp_path, "new.json", doc)]) == 0
+    assert trend.main([base, write(tmp_path, "new.json", doc),
+                       "--threshold", "0.05"]) == 1
+
+
+def test_new_and_removed_points_are_informational(tmp_path, capsys):
+    base_doc = matrix_doc()
+    new_doc = matrix_doc()
+    base_doc["results"].append(entry("fig7/cipher=retired/mtu=0",
+                                     {"cipher": "retired"}, gbps=1.0))
+    new_doc["results"].append(entry("fig7/cipher=fresh/mtu=0",
+                                    {"cipher": "fresh"}, gbps=1.0))
+    assert trend.main([write(tmp_path, "b.json", base_doc),
+                       write(tmp_path, "n.json", new_doc)]) == 0
+    out = capsys.readouterr().out
+    assert "no envelope entry yet" in out
+    assert "present only in envelope" in out
+
+
+def test_new_error_fails_the_gate(tmp_path, capsys):
+    base = write(tmp_path, "base.json", matrix_doc())
+    doc = matrix_doc()
+    doc["results"][0] = {"name": doc["results"][0]["name"],
+                         "error": "RuntimeError: boom"}
+    assert trend.main([base, write(tmp_path, "new.json", doc)]) == 1
+    assert "NEW ERROR" in capsys.readouterr().out
+
+
+def test_non_directional_metrics_ignored(tmp_path):
+    base_doc = matrix_doc()
+    new_doc = matrix_doc()
+    for item in base_doc["results"]:
+        item["metrics"]["series_digest"] = 1.0
+    for item in new_doc["results"]:
+        item["metrics"]["series_digest"] = 99.0
+    assert trend.main([write(tmp_path, "b.json", base_doc),
+                       write(tmp_path, "n.json", new_doc)]) == 0
